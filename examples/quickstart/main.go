@@ -1,0 +1,73 @@
+// Quickstart: the smallest complete TTG program.
+//
+// It builds a three-node template task graph — generate → scale → reduce —
+// runs it on a 4-rank virtual cluster with the PaRSEC-model backend, and
+// prints the reduction. Messages carry (task ID, value) pairs; the reduce
+// node uses a streaming terminal, folding an entire stream of inputs into
+// one task (the paper's §II-B feature).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/ttg"
+)
+
+func main() {
+	const n = 16
+	var result float64
+
+	ttg.Run(ttg.Config{Ranks: 4, WorkersPerRank: 2, Backend: ttg.PaRSEC}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+
+		// Typed edges: task IDs are Int1, payloads float64.
+		gen := ttg.NewEdge[ttg.Int1, float64]("generate")
+		scaled := ttg.NewEdge[ttg.Int1, float64]("scaled")
+		reduced := ttg.NewEdge[ttg.Int1, float64]("reduced")
+
+		// Each "scale" task doubles its input and forwards it to the
+		// reducer. The keymap spreads task IDs across ranks.
+		ttg.MakeTT1(g, "scale",
+			ttg.Input(gen), ttg.Out(scaled),
+			func(x *ttg.Ctx[ttg.Int1], v float64) {
+				ttg.Send(x, scaled, ttg.Int1{0}, 2*v)
+			},
+			ttg.Options[ttg.Int1]{Keymap: func(k ttg.Int1) int { return k[0] % pc.Size() }},
+		)
+
+		// The reducer's streaming terminal folds n messages into one task.
+		ttg.MakeTT1(g, "reduce",
+			ttg.ReduceInput(scaled,
+				func(acc, v float64) float64 { return acc + v },
+				func(ttg.Int1) int { return n },
+			),
+			ttg.Out(reduced),
+			func(x *ttg.Ctx[ttg.Int1], sum float64) {
+				ttg.Send(x, reduced, x.Key(), sum)
+			},
+			ttg.Options[ttg.Int1]{Keymap: func(ttg.Int1) int { return 0 }},
+		)
+
+		ttg.MakeTT1(g, "print",
+			ttg.Input(reduced), nil,
+			func(x *ttg.Ctx[ttg.Int1], sum float64) { result = sum },
+			ttg.Options[ttg.Int1]{Keymap: func(ttg.Int1) int { return 0 }},
+		)
+
+		g.MakeExecutable()
+		if pc.Rank() == 0 {
+			for k := 0; k < n; k++ {
+				ttg.Seed(g, gen, ttg.Int1{k}, float64(k))
+			}
+		}
+		g.Fence()
+	})
+
+	// Σ 2k for k in [0,16) = 240.
+	fmt.Printf("sum of doubled 0..%d = %v\n", n-1, result)
+	if result != 240 {
+		panic("unexpected result")
+	}
+}

@@ -1,0 +1,366 @@
+package bspmm
+
+import (
+	"repro/internal/keymap"
+	"repro/internal/lapack"
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// DBCSR-model 2.5D SUMMA: the rank set splits into Layers replica groups;
+// layer l processes the ks with k mod Layers == l as a bulk-synchronous
+// SUMMA over its own process grid (one barrier per k step), and a final
+// ReduceC sums the per-layer partial products. Each layer's broadcasts
+// span only ranks/Layers processes, which is exactly the cross-section-
+// bandwidth advantage the paper credits for DBCSR's continued scaling at
+// 256 nodes.
+
+// layerGeometry precomputes layer membership and per-layer k schedules.
+func (a *App) layerGeometry() {
+	L := a.opts.Layers
+	usedK := map[int]bool{}
+	for _, ks := range a.tasks {
+		for _, k := range ks {
+			usedK[k] = true
+		}
+	}
+	a.layerKs = make([][]int, L)
+	a.layerOf = map[int]int{}
+	for k := range usedK {
+		l := k % L
+		a.layerKs[l] = append(a.layerKs[l], k)
+		a.layerOf[k] = l
+	}
+	for l := range a.layerKs {
+		sortInts(a.layerKs[l])
+	}
+	a.layerTasks = map[int]map[ttg.Int2][]int{}
+	for l := 0; l < L; l++ {
+		a.layerTasks[l] = map[ttg.Int2][]int{}
+	}
+	for key, ks := range a.tasks {
+		for _, k := range ks {
+			l := k % L
+			a.layerTasks[l][key] = append(a.layerTasks[l][key], k)
+		}
+	}
+}
+
+// layerSize is ranks per layer.
+func (a *App) layerSize() int { return a.g.Size() / a.opts.Layers }
+
+// ownerCLayer maps output tile (i, j) onto layer l's process grid.
+func (a *App) ownerCLayer(i, j, l int) int {
+	g := a.layerSize()
+	p, q := keymap.Grid2D(g)
+	return l*g + keymap.BlockCyclic2D(p, q)(ttg.Int2{i, j})
+}
+
+// receiversALayer is receiversA restricted to layer l's grid.
+func (a *App) receiversALayer(i, k, l int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range a.opts.A.Row(k) {
+		if _, ok := a.tasks[ttg.Int2{i, j}]; !ok {
+			continue
+		}
+		r := a.ownerCLayer(i, j, l)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func (a *App) receiversBLayer(k, j, l int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, i := range a.opts.A.Col(k) {
+		if _, ok := a.tasks[ttg.Int2{i, j}]; !ok {
+			continue
+		}
+		r := a.ownerCLayer(i, j, l)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// maPerK counts the MultiplyAdds of one k step (the step barrier's stream
+// size component).
+func (a *App) maPerK(k int) int {
+	n := 0
+	for _, i := range a.opts.A.Col(k) {
+		for _, j := range a.opts.A.Row(k) {
+			if _, ok := a.tasks[ttg.Int2{i, j}]; ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// stepIndex maps k to its step within its layer.
+func (a *App) stepIndex(k int) int {
+	l := a.layerOf[k]
+	for s, kk := range a.layerKs[l] {
+		if kk == k {
+			return s
+		}
+	}
+	return -1
+}
+
+func (a *App) buildDBCSR() {
+	a.layerGeometry()
+	g := a.g
+	mat := a.opts.A
+	bsp := a.opts.Variant == DBCSRModel // TTG25D drops the step barriers
+
+	a.shiftGoA = ttg.NewEdge[ttg.Int2, ttg.Void]("shift_go_a")
+	a.shiftGoB = ttg.NewEdge[ttg.Int2, ttg.Void]("shift_go_b")
+	a.storeA = ttg.NewEdge[ttg.Int3, *tile.Tile]("store_a")
+	a.storeB = ttg.NewEdge[ttg.Int3, *tile.Tile]("store_b")
+	a.maA = ttg.NewEdge[ttg.Int3, *tile.Tile]("ma_a")
+	a.maB = ttg.NewEdge[ttg.Int3, *tile.Tile]("ma_b")
+	a.maC = ttg.NewEdge[ttg.Int3, *tile.Tile]("ma_c")
+	a.stepDone = ttg.NewEdge[ttg.Int2, ttg.Void]("step_done")
+	a.reduceC = ttg.NewEdge[ttg.Int2, *tile.Tile]("reduce_c")
+	a.outC = ttg.NewEdge[ttg.Int2, *tile.Tile]("out_c")
+
+	// ShiftA/B: per-step panel broadcasts within the layer, released by
+	// the step barrier (the synchronous MPI shifts of the real library).
+	ttg.MakeTT1(g, "ShiftA", ttg.Input(a.shiftGoA),
+		ttg.Out(a.storeA),
+		func(x *ttg.Ctx[ttg.Int2], _ ttg.Void) {
+			i, k := x.Key()[0], x.Key()[1]
+			l := a.layerOf[k]
+			t := mat.Materialize(i, k, a.opts.Phantom)
+			var dests []ttg.Int3
+			for _, r := range a.receiversALayer(i, k, l) {
+				dests = append(dests, ttg.Int3{i, k, r})
+			}
+			ttg.BroadcastM(x, a.storeA, dests, t, ttg.Move)
+		},
+		ttg.Options[ttg.Int2]{Keymap: func(key ttg.Int2) int {
+			return a.ownerCLayer(key[0], key[1], a.layerOf[key[1]])
+		}},
+	)
+	ttg.MakeTT1(g, "ShiftB", ttg.Input(a.shiftGoB),
+		ttg.Out(a.storeB),
+		func(x *ttg.Ctx[ttg.Int2], _ ttg.Void) {
+			k, j := x.Key()[0], x.Key()[1]
+			l := a.layerOf[k]
+			t := mat.Materialize(k, j, a.opts.Phantom)
+			var dests []ttg.Int3
+			for _, r := range a.receiversBLayer(k, j, l) {
+				dests = append(dests, ttg.Int3{k, j, r})
+			}
+			ttg.BroadcastM(x, a.storeB, dests, t, ttg.Move)
+		},
+		ttg.Options[ttg.Int2]{Keymap: func(key ttg.Int2) int {
+			return a.ownerCLayer(key[0], key[1], a.layerOf[key[0]])
+		}},
+	)
+
+	// Local stores fan out directly to the MultiplyAdds (no coordinator
+	// in the bulk-synchronous model).
+	ttg.MakeTT1(g, "LStoreA", ttg.Input(a.storeA),
+		ttg.Out(a.maA),
+		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
+			i, k, r := x.Key()[0], x.Key()[1], x.Key()[2]
+			l := a.layerOf[k]
+			var dests []ttg.Int3
+			for _, j := range mat.Row(k) {
+				if _, ok := a.tasks[ttg.Int2{i, j}]; ok && a.ownerCLayer(i, j, l) == r {
+					dests = append(dests, ttg.Int3{i, j, k})
+				}
+			}
+			ttg.BroadcastM(x, a.maA, dests, t, ttg.Borrow)
+		},
+		ttg.Options[ttg.Int3]{Keymap: func(k ttg.Int3) int { return k[2] }},
+	)
+	ttg.MakeTT1(g, "LStoreB", ttg.Input(a.storeB),
+		ttg.Out(a.maB),
+		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
+			k, j, r := x.Key()[0], x.Key()[1], x.Key()[2]
+			l := a.layerOf[k]
+			var dests []ttg.Int3
+			for _, i := range mat.Col(k) {
+				if _, ok := a.tasks[ttg.Int2{i, j}]; ok && a.ownerCLayer(i, j, l) == r {
+					dests = append(dests, ttg.Int3{i, j, k})
+				}
+			}
+			ttg.BroadcastM(x, a.maB, dests, t, ttg.Borrow)
+		},
+		ttg.Options[ttg.Int3]{Keymap: func(k ttg.Int3) int { return k[2] }},
+	)
+
+	// MultiplyAdd: chains per-layer partial products, notifies the step
+	// barrier, and hands the finished layer partial to the reduction.
+	ttg.MakeTT3(g, "MultiplyAdd",
+		ttg.Input(a.maA), ttg.Input(a.maB), ttg.Input(a.maC),
+		ttg.Out(a.maC, a.reduceC, a.stepDone),
+		func(x *ttg.Ctx[ttg.Int3], at, bt, ct *tile.Tile) {
+			i, j, k := x.Key()[0], x.Key()[1], x.Key()[2]
+			l := a.layerOf[k]
+			if !ct.IsPhantom() {
+				lapack.GemmNN(ct, at, bt)
+			}
+			ks := a.layerTasks[l][ttg.Int2{i, j}]
+			next := -1
+			for idx, kk := range ks {
+				if kk == k && idx+1 < len(ks) {
+					next = ks[idx+1]
+					break
+				}
+			}
+			if next >= 0 {
+				ttg.SendM(x, a.maC, ttg.Int3{i, j, next}, ct, ttg.Move)
+			} else {
+				ttg.SendM(x, a.reduceC, ttg.Int2{i, j}, ct, ttg.Move)
+			}
+			if bsp {
+				ttg.Send(x, a.stepDone, ttg.Int2{l, a.stepIndex(k)}, ttg.Void{})
+			}
+		},
+		ttg.Options[ttg.Int3]{Keymap: func(key ttg.Int3) int {
+			return a.ownerCLayer(key[0], key[1], a.layerOf[key[2]])
+		}},
+	)
+
+	// Step barrier: all MultiplyAdds of step s in layer l complete before
+	// the next step's shifts begin. The asynchronous TTG 2.5D variant has
+	// no barrier: all shifts are released at seed time.
+	if bsp {
+		a.buildStepBarrier(g)
+	}
+
+	// ReduceC: sums the layer partials (streaming terminal sized by the
+	// number of contributing layers) and emits the product tile.
+	ttg.MakeTT1(g, "ReduceC",
+		ttg.ReduceInput(a.reduceC,
+			func(acc, v *tile.Tile) *tile.Tile {
+				if !acc.IsPhantom() && !v.IsPhantom() {
+					for idx := range acc.Data {
+						acc.Data[idx] += v.Data[idx]
+					}
+				}
+				return acc
+			},
+			func(key ttg.Int2) int { return a.contributingLayers(key[0], key[1]) },
+		),
+		ttg.Out(a.outC),
+		func(x *ttg.Ctx[ttg.Int2], t *tile.Tile) {
+			ttg.SendM(x, a.outC, x.Key(), t, ttg.Move)
+		},
+		ttg.Options[ttg.Int2]{Keymap: func(k ttg.Int2) int { return a.ownerC(k[0], k[1]) }},
+	)
+
+	a.buildOut(a.outC, nil)
+}
+
+// contributingLayers counts the layers with at least one k for (i, j).
+func (a *App) contributingLayers(i, j int) int {
+	n := 0
+	for l := 0; l < a.opts.Layers; l++ {
+		if len(a.layerTasks[l][ttg.Int2{i, j}]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// releaseStep triggers the shifts of step s in layer l.
+func (a *App) releaseStep(x ttg.Context, l, s int) {
+	k := a.layerKs[l][s]
+	var as, bs []ttg.Int2
+	for _, i := range a.opts.A.Col(k) {
+		if len(a.receiversALayer(i, k, l)) > 0 {
+			as = append(as, ttg.Int2{i, k})
+		}
+	}
+	for _, j := range a.opts.A.Row(k) {
+		if len(a.receiversBLayer(k, j, l)) > 0 {
+			bs = append(bs, ttg.Int2{k, j})
+		}
+	}
+	if len(as) > 0 {
+		ttg.Broadcast(x, a.shiftGoA, as, ttg.Void{})
+	}
+	if len(bs) > 0 {
+		ttg.Broadcast(x, a.shiftGoB, bs, ttg.Void{})
+	}
+}
+
+func (a *App) seedDBCSR() {
+	me := a.g.Rank()
+	// The barriered model releases only step 0 of each layer (the barrier
+	// chain releases the rest); the asynchronous TTG 2.5D variant releases
+	// every step up front and lets the dataflow order execution.
+	for l := 0; l < a.opts.Layers; l++ {
+		if me != l*a.layerSize() || len(a.layerKs[l]) == 0 {
+			continue
+		}
+		steps := a.layerKs[l][:1]
+		if a.opts.Variant == TTG25D {
+			steps = a.layerKs[l]
+		}
+		var as, bs []ttg.Int2
+		for _, k := range steps {
+			for _, i := range a.opts.A.Col(k) {
+				if len(a.receiversALayer(i, k, l)) > 0 {
+					as = append(as, ttg.Int2{i, k})
+				}
+			}
+			for _, j := range a.opts.A.Row(k) {
+				if len(a.receiversBLayer(k, j, l)) > 0 {
+					bs = append(bs, ttg.Int2{k, j})
+				}
+			}
+		}
+		if len(as) > 0 {
+			ttg.SeedBroadcast(a.g, a.shiftGoA, as, ttg.Void{})
+		}
+		if len(bs) > 0 {
+			ttg.SeedBroadcast(a.g, a.shiftGoB, bs, ttg.Void{})
+		}
+	}
+	// Zero C chains per layer on their layer owners (sorted for
+	// deterministic virtual-time runs).
+	for _, key := range a.sortedTaskKeys() {
+		for l := 0; l < a.opts.Layers; l++ {
+			ks := a.layerTasks[l][key]
+			if len(ks) == 0 {
+				continue
+			}
+			if a.ownerCLayer(key[0], key[1], l) != me {
+				continue
+			}
+			ttg.Seed(a.g, a.maC, ttg.Int3{key[0], key[1], ks[0]}, a.zeroC(key[0], key[1]))
+		}
+	}
+}
+
+// buildStepBarrier adds the DBCSR model's per-step synchronization.
+func (a *App) buildStepBarrier(g *ttg.Graph) {
+	ttg.MakeTT1(g, "StepBarrier",
+		ttg.ReduceInput(a.stepDone,
+			func(acc, _ ttg.Void) ttg.Void { return acc },
+			func(key ttg.Int2) int { return a.maPerK(a.layerKs[key[0]][key[1]]) },
+		),
+		ttg.Out(a.shiftGoA, a.shiftGoB),
+		func(x *ttg.Ctx[ttg.Int2], _ ttg.Void) {
+			l, s := x.Key()[0], x.Key()[1]
+			if s+1 < len(a.layerKs[l]) {
+				a.releaseStep(x, l, s+1)
+			}
+		},
+		ttg.Options[ttg.Int2]{Keymap: func(key ttg.Int2) int { return key[0] * a.layerSize() }},
+	)
+}

@@ -1,0 +1,40 @@
+package cholesky
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// TestBackendIndependenceMatrix pins the paper's §II-D claim that TTG
+// programs are backend independent: every sync variant factors correctly
+// on both runtime backends.
+func TestBackendIndependenceMatrix(t *testing.T) {
+	grid := tile.Grid{N: 36, NB: 12}
+	for _, be := range []ttg.Backend{ttg.PaRSEC, ttg.MADNESS} {
+		for _, variant := range []Variant{TTGVariant, ScaLAPACKModel, SLATEModel} {
+			t.Run(be.String()+"/"+variant.String(), func(t *testing.T) {
+				expectFactor(t, grid, runReal(t, be, variant, 2, grid, false))
+			})
+		}
+	}
+}
+
+// TestDotOfFullGraph smoke-checks the DOT rendering of a production graph.
+func TestDotOfFullGraph(t *testing.T) {
+	var dot string
+	ttg.Run(ttg.Config{Ranks: 1}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		Build(g, Options{Grid: tile.Grid{N: 32, NB: 16}})
+		g.MakeExecutable()
+		dot = g.Dot()
+		g.Fence()
+	})
+	for _, want := range []string{"POTRF", "TRSM", "SYRK", "GEMM", "RESULT", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package fw
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/backend/sim"
+	"repro/internal/cluster"
+	"repro/internal/lapack"
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// referenceAPSP runs the scalar Floyd-Warshall on the synthetic graph.
+func referenceAPSP(n int) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = EdgeWeight(i, j)
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik >= lapack.Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := dik + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	return d
+}
+
+func runReal(t *testing.T, be ttg.Backend, variant Variant, ranks int, grid tile.Grid) map[ttg.Int2]*tile.Tile {
+	t.Helper()
+	var mu sync.Mutex
+	results := map[ttg.Int2]*tile.Tile{}
+	ttg.Run(ttg.Config{Ranks: ranks, WorkersPerRank: 2, Backend: be}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		app := Build(g, Options{
+			Grid:       grid,
+			Variant:    variant,
+			Priorities: variant == TTGVariant,
+			OnResult: func(i, j int, tl *tile.Tile) {
+				mu.Lock()
+				results[ttg.Int2{i, j}] = tl
+				mu.Unlock()
+			},
+		})
+		g.MakeExecutable()
+		app.Seed()
+		g.Fence()
+	})
+	return results
+}
+
+func expectAPSP(t *testing.T, grid tile.Grid, results map[ttg.Int2]*tile.Tile) {
+	t.Helper()
+	nt := grid.NT()
+	if len(results) != nt*nt {
+		t.Fatalf("gathered %d tiles, want %d", len(results), nt*nt)
+	}
+	want := referenceAPSP(grid.N)
+	for i := 0; i < grid.N; i++ {
+		for j := 0; j < grid.N; j++ {
+			tl := results[ttg.Int2{i / grid.NB, j / grid.NB}]
+			got := tl.At(i%grid.NB, j%grid.NB)
+			if math.Abs(got-want[i][j]) > 1e-9 {
+				t.Fatalf("dist(%d,%d) = %v, want %v", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestFWAPSPTTGParsec(t *testing.T) {
+	grid := tile.Grid{N: 48, NB: 12}
+	expectAPSP(t, grid, runReal(t, ttg.PaRSEC, TTGVariant, 4, grid))
+}
+
+func TestFWAPSPTTGMadness(t *testing.T) {
+	grid := tile.Grid{N: 32, NB: 8}
+	expectAPSP(t, grid, runReal(t, ttg.MADNESS, TTGVariant, 2, grid))
+}
+
+func TestFWAPSPForkJoinModel(t *testing.T) {
+	grid := tile.Grid{N: 32, NB: 8}
+	expectAPSP(t, grid, runReal(t, ttg.PaRSEC, ForkJoinModel, 4, grid))
+}
+
+func TestFWAPSPSingleTile(t *testing.T) {
+	grid := tile.Grid{N: 8, NB: 8}
+	expectAPSP(t, grid, runReal(t, ttg.PaRSEC, TTGVariant, 1, grid))
+}
+
+func TestFWAPSPUnevenTiles(t *testing.T) {
+	grid := tile.Grid{N: 20, NB: 8} // trailing 4-wide tiles
+	expectAPSP(t, grid, runReal(t, ttg.PaRSEC, TTGVariant, 2, grid))
+}
+
+// TestForkJoinSlowerInVirtualTime reproduces the Fig. 8/9 separation:
+// the barrier per round costs the fork-join model its overlap.
+func TestForkJoinSlowerInVirtualTime(t *testing.T) {
+	grid := tile.Grid{N: 4096, NB: 128}
+	machine := cluster.Hawk()
+	run := func(variant Variant) float64 {
+		rt := sim.New(sim.Config{
+			Ranks:   4,
+			Machine: machine,
+			Flavor:  cluster.ParsecFlavor(),
+			Cost:    CostModel(grid, machine),
+		})
+		rt.Run(func(p *sim.Proc) {
+			g := ttg.NewGraphOn(p)
+			app := Build(g, Options{Grid: grid, Phantom: true, Variant: variant, Priorities: variant == TTGVariant})
+			g.MakeExecutable()
+			app.Seed()
+			g.Fence()
+		})
+		return rt.LastDrainTime()
+	}
+	ttgTime := run(TTGVariant)
+	fjTime := run(ForkJoinModel)
+	if ttgTime >= fjTime {
+		t.Fatalf("TTG (%v) not faster than fork-join model (%v)", ttgTime, fjTime)
+	}
+}
+
+// TestVirtualTaskCount checks the full DAG unfolds in virtual time.
+func TestVirtualTaskCount(t *testing.T) {
+	grid := tile.Grid{N: 1024, NB: 128}
+	machine := cluster.Hawk()
+	rt := sim.New(sim.Config{
+		Ranks: 2, Machine: machine, Flavor: cluster.ParsecFlavor(),
+		Cost: CostModel(grid, machine),
+	})
+	var mu sync.Mutex
+	var tasks int64
+	rt.Run(func(p *sim.Proc) {
+		g := ttg.NewGraphOn(p)
+		app := Build(g, Options{Grid: grid, Phantom: true})
+		g.MakeExecutable()
+		app.Seed()
+		g.Fence()
+		mu.Lock()
+		tasks += p.Tracer().Snapshot().TasksExecuted
+		mu.Unlock()
+	})
+	nt := grid.NT()
+	kernels := nt * (1 + 2*(nt-1) + (nt-1)*(nt-1))
+	want := int64(kernels + nt*nt) // + FW_OUT collectors
+	if tasks != want {
+		t.Fatalf("executed %d tasks, want %d", tasks, want)
+	}
+}
+
+// TestBackendIndependenceMatrix pins the §II-D claim for the APSP graph.
+func TestBackendIndependenceMatrix(t *testing.T) {
+	grid := tile.Grid{N: 24, NB: 8}
+	for _, be := range []ttg.Backend{ttg.PaRSEC, ttg.MADNESS} {
+		for _, variant := range []Variant{TTGVariant, ForkJoinModel} {
+			t.Run(be.String()+"/"+variant.String(), func(t *testing.T) {
+				expectAPSP(t, grid, runReal(t, be, variant, 2, grid))
+			})
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package mra
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussLegendreExactness(t *testing.T) {
+	// k-point GL on [0,1] integrates polynomials up to degree 2k-1.
+	for _, k := range []int{2, 5, 10} {
+		nodes, weights := gaussLegendre01(k)
+		for deg := 0; deg < 2*k; deg++ {
+			s := 0.0
+			for q := 0; q < k; q++ {
+				s += weights[q] * math.Pow(nodes[q], float64(deg))
+			}
+			want := 1 / float64(deg+1)
+			if math.Abs(s-want) > 1e-12 {
+				t.Fatalf("k=%d deg=%d: quad %v want %v", k, deg, s, want)
+			}
+		}
+	}
+}
+
+func TestScalingFunctionsOrthonormal(t *testing.T) {
+	const k = 10
+	nodes, weights := gaussLegendre01(k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			s := 0.0
+			for q := 0; q < k; q++ {
+				s += weights[q] * legendreScaling(i, nodes[q]) * legendreScaling(j, nodes[q])
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-10 {
+				t.Fatalf("⟨φ%d,φ%d⟩ = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestProjectExactForPolynomials(t *testing.T) {
+	// A degree < k polynomial is represented exactly: projecting on a box
+	// and evaluating the norm over boxes reproduces ∫f².
+	b := NewBasis(6, 2)
+	f := func(x []float64) float64 { return 1 + 2*x[0] + 3*x[0]*x[1]*x[1] }
+	// ∫ f² over [0,1]²: expand f² = 1 +4x +4x² +6xy² +12x²y² +9x²y⁴.
+	want := 1.0 + 4.0/2 + 4.0/3 + 6.0/(2*3) + 12.0/(3*3) + 9.0/(3*5)
+	s := b.ProjectBox(f, 0, []int{0, 0})
+	if got := Norm2(s); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("‖s‖² = %v, want %v", got, want)
+	}
+}
+
+func TestFilterRebuildsParentProjection(t *testing.T) {
+	// Filtering children projections equals projecting on the parent for
+	// a polynomial (both exact).
+	b := NewBasis(5, 2)
+	f := func(x []float64) float64 { return x[0]*x[0] + x[1] }
+	children := make([][]float64, b.Children())
+	for c := 0; c < b.Children(); c++ {
+		l := []int{childOffsetDim(c, 0, 2), childOffsetDim(c, 1, 2)}
+		children[c] = b.ProjectBox(f, 1, l)
+	}
+	sp := b.Filter(children)
+	want := b.ProjectBox(f, 0, []int{0, 0})
+	for i := range sp {
+		if math.Abs(sp[i]-want[i]) > 1e-12 {
+			t.Fatalf("coeff %d: filter %v direct %v", i, sp[i], want[i])
+		}
+	}
+	// The residual of an exactly representable function vanishes.
+	if r := Norm2(b.Residual(children, sp)); r > 1e-20 {
+		t.Fatalf("residual norm² = %v for polynomial", r)
+	}
+}
+
+func TestProlongFilterRoundTrip(t *testing.T) {
+	// Prolonging a parent to children and filtering back is the identity
+	// (the parent space embeds isometrically in the children space).
+	b := NewBasis(4, 3)
+	sp := make([]float64, b.Coeffs())
+	for i := range sp {
+		sp[i] = math.Sin(float64(i) + 1)
+	}
+	children := make([][]float64, b.Children())
+	for c := range children {
+		children[c] = b.Prolong(sp, c)
+	}
+	back := b.Filter(children)
+	for i := range sp {
+		if math.Abs(back[i]-sp[i]) > 1e-12 {
+			t.Fatalf("coeff %d: round trip %v want %v", i, back[i], sp[i])
+		}
+	}
+	// Isometry: Σ‖child‖² = ‖parent‖².
+	sum := 0.0
+	for _, c := range children {
+		sum += Norm2(c)
+	}
+	if math.Abs(sum-Norm2(sp)) > 1e-12 {
+		t.Fatalf("prolongation not isometric: %v vs %v", sum, Norm2(sp))
+	}
+}
+
+// adaptiveNorm2 is a direct recursive reference of the adaptive projection.
+func adaptiveNorm2(b *Basis, f Func, tol float64, n int, l []int, maxN int) float64 {
+	children := make([][]float64, b.Children())
+	for c := 0; c < b.Children(); c++ {
+		cl := make([]int, b.D)
+		for m := 0; m < b.D; m++ {
+			cl[m] = 2*l[m] + childOffsetDim(c, m, b.D)
+		}
+		children[c] = b.ProjectBox(f, n+1, cl)
+	}
+	sp := b.Filter(children)
+	if math.Sqrt(Norm2(b.Residual(children, sp))) <= tol || n >= maxN {
+		return Norm2(sp)
+	}
+	total := 0.0
+	for c := 0; c < b.Children(); c++ {
+		cl := make([]int, b.D)
+		for m := 0; m < b.D; m++ {
+			cl[m] = 2*l[m] + childOffsetDim(c, m, b.D)
+		}
+		total += adaptiveNorm2(b, f, tol, n+1, cl, maxN)
+	}
+	return total
+}
+
+func TestAdaptiveProjectionGaussianNorm(t *testing.T) {
+	// 2-D sharp Gaussian: the adaptive norm matches the analytic norm.
+	b := NewBasis(8, 2)
+	a := 500.0
+	f := Gaussian(a, []float64{0.41, 0.57})
+	got := adaptiveNorm2(b, f, 1e-8, 0, []int{0, 0}, 12)
+	want := GaussianNorm2(a, 2)
+	if rel := math.Abs(got-want) / want; rel > 1e-6 {
+		t.Fatalf("adaptive norm² = %v, analytic %v (rel %g)", got, want, rel)
+	}
+}
+
+func TestContractionStridesAllModes(t *testing.T) {
+	// Contracting with the identity leaves the tensor unchanged on every
+	// mode in 3-D.
+	b := NewBasis(3, 3)
+	id := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	tn := make([]float64, b.Coeffs())
+	for i := range tn {
+		tn[i] = float64(i)
+	}
+	for m := 0; m < 3; m++ {
+		out := b.contract(tn, id, m)
+		for i := range tn {
+			if out[i] != tn[i] {
+				t.Fatalf("mode %d identity contraction altered tensor", m)
+			}
+		}
+	}
+}

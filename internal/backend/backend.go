@@ -1,0 +1,412 @@
+// Package backend implements the shared distributed-runtime engine under
+// the PaRSEC-model and MADNESS-model backends. Each rank of the virtual
+// cluster gets a worker pool, a communication thread serving active
+// messages, a termination detector, and a transport speaking the wire
+// protocols of §II: eager whole-object (archive) messages, the two-stage
+// split-metadata protocol with RMA payload fetch, and tree-forwarded
+// optimized broadcasts. The two named backends are thin configurations of
+// this engine (see the parsec and madness subpackages), just as the C++
+// TTG backends configure shared machinery over their runtimes.
+package backend
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/serde"
+	"repro/internal/simnet"
+	"repro/internal/termdet"
+	"repro/internal/trace"
+)
+
+// Wire kinds on the simnet fabric.
+const (
+	kCtrl     uint8 = iota + 1 // termination-detection control
+	kData                      // eager data: header + inline archive value
+	kSplit                     // splitmd phase 1: header + metadata + RMA handle
+	kSplitAck                  // splitmd completion: release the source region
+	kBcast                     // tree broadcast: plan + inline value
+)
+
+// Options configure the engine; the named backends provide presets.
+type Options struct {
+	// Name tags the backend in diagnostics ("parsec", "madness").
+	Name string
+	// WorkersPerRank sizes each rank's pool. Zero means NumCPU/ranks,
+	// minimum 1 (the evaluation pinned 60 worker threads per node).
+	WorkersPerRank int
+	// Policy selects the task queue discipline.
+	Policy sched.Policy
+	// TracksData: the runtime owns data lifetimes, so const-ref sends
+	// avoid copies (PaRSEC-model: true, MADNESS-model: false).
+	TracksData bool
+	// SplitMD enables the split-metadata rendezvous protocol.
+	SplitMD bool
+	// TreeBroadcast forwards multi-rank broadcasts along a binomial tree
+	// instead of point-to-point sends from the root.
+	TreeBroadcast bool
+	// EagerThreshold is the wire size (bytes) above which splitmd is
+	// preferred over the eager archive path.
+	EagerThreshold int
+	// Net configures latency/bandwidth of the virtual fabric.
+	Net simnet.Config
+}
+
+func (o *Options) fill(ranks int) {
+	if o.WorkersPerRank <= 0 {
+		o.WorkersPerRank = runtime.NumCPU() / ranks
+		if o.WorkersPerRank < 1 {
+			o.WorkersPerRank = 1
+		}
+	}
+	if o.EagerThreshold <= 0 {
+		o.EagerThreshold = 4096
+	}
+	o.Net.Ranks = ranks
+}
+
+// Runtime owns a virtual cluster of ranks executing one TTG program.
+type Runtime struct {
+	opts   Options
+	net    *simnet.Network
+	procs  []*Proc
+	commWG sync.WaitGroup
+}
+
+// New builds a runtime with the given number of ranks.
+func New(ranks int, opts Options) *Runtime {
+	opts.fill(ranks)
+	rt := &Runtime{opts: opts, net: simnet.New(opts.Net)}
+	rt.procs = make([]*Proc, ranks)
+	for r := 0; r < ranks; r++ {
+		rt.procs[r] = newProc(rt, r)
+	}
+	for _, p := range rt.procs {
+		p.start(&rt.commWG)
+	}
+	return rt
+}
+
+// Options returns the engine configuration (read-only).
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Proc returns rank r's process context.
+func (rt *Runtime) Proc(r int) *Proc { return rt.procs[r] }
+
+// Ranks returns the cluster size.
+func (rt *Runtime) Ranks() int { return len(rt.procs) }
+
+// Run executes main once per rank, concurrently (the SPMD model). Each
+// main must build its graph, Bind it, inject seeds, and Fence before
+// returning. Run shuts the runtime down afterwards.
+func (rt *Runtime) Run(main func(p *Proc)) {
+	var wg sync.WaitGroup
+	for _, p := range rt.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			main(p)
+		}(p)
+	}
+	wg.Wait()
+	rt.Shutdown()
+}
+
+// Shutdown stops pools and the network. Idempotent; called by Run.
+func (rt *Runtime) Shutdown() {
+	for _, p := range rt.procs {
+		p.pool.Stop()
+	}
+	rt.net.Close()
+	rt.commWG.Wait()
+}
+
+// Proc is one rank's runtime context; it implements core.Executor.
+type Proc struct {
+	rt       *Runtime
+	rank     int
+	ep       *simnet.Endpoint
+	det      *termdet.Detector
+	pool     *sched.Pool
+	tr       trace.Collector
+	graph    *core.Graph
+	ready    chan struct{}
+	bindOnce sync.Once
+}
+
+func newProc(rt *Runtime, rank int) *Proc {
+	p := &Proc{rt: rt, rank: rank, ep: rt.net.Endpoint(rank), ready: make(chan struct{})}
+	p.det = termdet.New(rank, rt.Ranks(), func(dst int, data []byte) {
+		p.ep.Send(dst, kCtrl, data)
+	})
+	p.pool = sched.NewPool(rt.opts.WorkersPerRank, rt.opts.Policy, func(w int, it sched.Item) {
+		it.Value.(*core.Task).Execute(w)
+	})
+	return p
+}
+
+func (p *Proc) start(wg *sync.WaitGroup) {
+	p.pool.Start()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.commLoop()
+	}()
+}
+
+// Rank implements core.Executor.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size implements core.Executor.
+func (p *Proc) Size() int { return p.rt.Ranks() }
+
+// Workers returns the pool width.
+func (p *Proc) Workers() int { return p.pool.Workers() }
+
+// PendingRMARegions reports how many splitmd source objects are still
+// registered awaiting release acknowledgements; it drains to zero shortly
+// after quiescence (diagnostics/leak tests).
+func (p *Proc) PendingRMARegions() int { return p.ep.RegionCount() }
+
+// Tracer implements core.Executor.
+func (p *Proc) Tracer() *trace.Collector { return &p.tr }
+
+// TracksData implements core.Executor.
+func (p *Proc) TracksData() bool { return p.rt.opts.TracksData }
+
+// SupportsSplitMD implements core.Executor.
+func (p *Proc) SupportsSplitMD() bool { return p.rt.opts.SplitMD }
+
+// Activate implements core.Executor.
+func (p *Proc) Activate() { p.det.Activate() }
+
+// Deactivate implements core.Executor.
+func (p *Proc) Deactivate() { p.det.Deactivate() }
+
+// Fence implements core.Executor: collective wait for global quiescence.
+func (p *Proc) Fence() { p.det.Fence() }
+
+// Bind attaches the rank's sealed graph; remote deliveries are held until
+// the graph is bound. Must be called exactly once per Run.
+func (p *Proc) Bind(g *core.Graph) {
+	if !g.Sealed() {
+		panic("backend: Bind before Seal")
+	}
+	bound := false
+	p.bindOnce.Do(func() {
+		p.graph = g
+		close(p.ready)
+		bound = true
+	})
+	if !bound {
+		panic("backend: graph already bound")
+	}
+}
+
+// NewGraph is a convenience building a graph on this executor.
+func (p *Proc) NewGraph() *core.Graph { return core.NewGraph(p) }
+
+// Submit implements core.Executor.
+func (p *Proc) Submit(t *core.Task) {
+	it := sched.Item{Priority: t.Priority, Value: t}
+	if t.Origin >= 0 {
+		p.pool.SubmitLocal(t.Origin, it)
+	} else {
+		p.pool.Submit(it)
+	}
+}
+
+// Deliver implements core.Executor: one delivery to one remote rank.
+func (p *Proc) Deliver(dest int, d core.Delivery) {
+	if dest == p.rank {
+		panic("backend: Deliver to self")
+	}
+	if d.Control == core.CtrlNone && p.rt.opts.SplitMD {
+		if _, ok := serde.SplitMDFor(d.Value); ok && serde.WireSizeAny(d.Value) >= p.rt.opts.EagerThreshold {
+			p.deliverSplit(dest, d)
+			return
+		}
+	}
+	b := serde.NewBuffer(256)
+	core.EncodeHeader(b, d)
+	hasValue := d.Control == core.CtrlNone
+	b.PutBool(hasValue)
+	if hasValue {
+		serde.EncodeAny(b, d.Value)
+		p.tr.ArchiveTransfers.Add(1)
+	}
+	p.send(dest, kData, b.Bytes())
+}
+
+// deliverSplit performs splitmd phase 1: eager metadata plus an RMA handle
+// to the registered source object; the receiver fetches the payload.
+func (p *Proc) deliverSplit(dest int, d core.Delivery) {
+	src := d.Value.(serde.SplitMD)
+	if d.Mode == core.SendCopy {
+		// The sender may mutate after send; snapshot for the deferred read.
+		src = serde.CloneAny(d.Value).(serde.SplitMD)
+		p.tr.DataCopies.Add(1)
+	} else {
+		p.tr.CopiesAvoided.Add(1)
+	}
+	h := p.ep.RegisterObject(src)
+	b := serde.NewBuffer(256)
+	core.EncodeHeader(b, d)
+	b.PutUvarint(uint64(serde.WireTagOf(d.Value)))
+	b.PutBytes(src.SplitMetadata())
+	b.PutUvarint(uint64(src.PayloadBytes()))
+	b.PutRaw(simnet.EncodeHandle(nil, h))
+	p.tr.SplitMDTransfers.Add(1)
+	p.tr.BytesSent.Add(int64(src.PayloadBytes())) // the RMA-fetched payload
+	p.send(dest, kSplit, b.Bytes())
+}
+
+// Broadcast implements core.Executor.
+func (p *Proc) Broadcast(dests map[int]core.Delivery) {
+	if !p.rt.opts.TreeBroadcast || len(dests) < 2 {
+		for dst, d := range dests {
+			p.Deliver(dst, d)
+		}
+		return
+	}
+	// Build the plan once: value serialized a single time, forwarded along
+	// a binomial tree over the destination ranks.
+	participants := make([]int, 0, len(dests))
+	var value any
+	for dst, d := range dests {
+		participants = append(participants, dst)
+		value = d.Value
+	}
+	order := collective.Order(p.rank, participants)
+	b := serde.NewBuffer(512)
+	b.PutU32(uint32(p.rank))
+	b.PutUvarint(uint64(len(order)))
+	for _, r := range order {
+		b.PutVarint(int64(r))
+	}
+	b.PutUvarint(uint64(len(dests)))
+	for dst, d := range dests {
+		b.PutVarint(int64(dst))
+		core.EncodeHeader(b, d)
+	}
+	serde.EncodeAny(b, value)
+	p.tr.ArchiveTransfers.Add(1)
+	data := b.Bytes()
+	for _, child := range collective.Fanout(order, p.rank) {
+		p.send(child, kBcast, data)
+	}
+}
+
+func (p *Proc) send(dest int, kind uint8, data []byte) {
+	p.det.MsgSent()
+	p.tr.MsgsSent.Add(1)
+	p.tr.BytesSent.Add(int64(len(data)))
+	p.ep.Send(dest, kind, data)
+}
+
+// commLoop is the rank's communication thread (the MADNESS-model's
+// dedicated AM server thread; PaRSEC's communication engine).
+func (p *Proc) commLoop() {
+	for {
+		pkt, ok := p.ep.Recv()
+		if !ok {
+			return
+		}
+		switch pkt.Kind {
+		case kCtrl:
+			p.det.HandleControl(pkt.Data)
+		case kData:
+			<-p.ready
+			p.det.Activate()
+			p.det.MsgReceived()
+			p.tr.MsgsReceived.Add(1)
+			b := serde.FromBytes(pkt.Data)
+			d := core.DecodeHeader(b)
+			if b.Bool() {
+				d.Value = serde.DecodeAny(b)
+			}
+			p.graph.Inject(d)
+			p.det.Deactivate()
+		case kSplit:
+			<-p.ready
+			p.det.Activate()
+			p.det.MsgReceived()
+			p.tr.MsgsReceived.Add(1)
+			b := serde.FromBytes(pkt.Data)
+			d := core.DecodeHeader(b)
+			tag := uint32(b.Uvarint())
+			meta := b.BytesOut()
+			payloadBytes := int(b.Uvarint())
+			h, _ := simnet.DecodeHandle(b.RawOut(12))
+			// Phase 2 runs asynchronously, like an RMA engine completing
+			// the get and firing a completion callback.
+			go p.fetchSplit(d, tag, meta, payloadBytes, h, pkt.Src)
+		case kSplitAck:
+			h, _ := simnet.DecodeHandle(pkt.Data)
+			p.ep.Deregister(h)
+		case kBcast:
+			<-p.ready
+			p.det.Activate()
+			p.det.MsgReceived()
+			p.tr.MsgsReceived.Add(1)
+			p.handleBcast(pkt.Data)
+			p.det.Deactivate()
+		default:
+			panic(fmt.Sprintf("backend: unknown packet kind %d", pkt.Kind))
+		}
+	}
+}
+
+func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes int, h simnet.RMAHandle, src int) {
+	defer p.det.Deactivate()
+	traits, ok := serde.SplitMDByTag(tag)
+	if !ok {
+		panic(fmt.Sprintf("backend: no splitmd traits for wire tag %d", tag))
+	}
+	obj := traits.Allocate(meta)
+	srcObj, err := p.ep.FetchObject(h, payloadBytes)
+	if err != nil {
+		panic(fmt.Sprintf("backend: splitmd fetch failed: %v", err))
+	}
+	obj.CopyPayloadFrom(srcObj.(serde.SplitMD))
+	p.tr.SplitMDTransfers.Add(1)
+	d.Value = obj
+	p.graph.Inject(d)
+	// Notify the sender so it can release the source object.
+	p.ep.Send(src, kSplitAck, simnet.EncodeHandle(nil, h))
+}
+
+func (p *Proc) handleBcast(data []byte) {
+	b := serde.FromBytes(data)
+	root := int(b.U32())
+	n := int(b.Uvarint())
+	order := make([]int, n)
+	for i := range order {
+		order[i] = int(b.Varint())
+	}
+	ne := int(b.Uvarint())
+	var mine *core.Delivery
+	for i := 0; i < ne; i++ {
+		r := int(b.Varint())
+		d := core.DecodeHeader(b)
+		if r == p.rank {
+			mine = &d
+		}
+	}
+	value := serde.DecodeAny(b)
+	_ = root
+	// Forward to tree children first (latency overlap), then deliver.
+	kids := collective.Fanout(order, p.rank)
+	for _, child := range kids {
+		p.tr.BcastsForwarded.Add(1)
+		p.send(child, kBcast, data)
+	}
+	if mine != nil {
+		mine.Value = value
+		p.graph.Inject(*mine)
+	}
+}

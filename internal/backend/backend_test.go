@@ -1,0 +1,464 @@
+package backend_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/backend/madness"
+	"repro/internal/backend/parsec"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/serde"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// vec is a splitmd-capable payload used by the transport tests.
+type vec struct {
+	n    int
+	data []float64
+}
+
+func (v *vec) SplitMetadata() []byte {
+	b := serde.NewBuffer(8)
+	b.PutVarint(int64(v.n))
+	return b.Bytes()
+}
+func (v *vec) PayloadBytes() int { return 8 * len(v.data) }
+func (v *vec) CopyPayloadFrom(src serde.SplitMD) {
+	copy(v.data, src.(*vec).data)
+}
+
+func init() {
+	serde.Register(serde.FuncCodec[*vec]{
+		Enc: func(b *serde.Buffer, v *vec) {
+			b.PutVarint(int64(v.n))
+			b.PutF64s(v.data)
+		},
+		Dec: func(b *serde.Buffer) *vec {
+			return &vec{n: int(b.Varint()), data: b.F64s()}
+		},
+		Size: func(v *vec) int { return 12 + 8*len(v.data) },
+		Copy: func(v *vec) *vec {
+			d := make([]float64, len(v.data))
+			copy(d, v.data)
+			return &vec{n: v.n, data: d}
+		},
+	})
+	serde.RegisterSplitMD(&vec{}, serde.SplitMDTraits{
+		Allocate: func(meta []byte) serde.SplitMD {
+			n := int(serde.FromBytes(meta).Varint())
+			return &vec{n: n, data: make([]float64, n)}
+		},
+	})
+}
+
+// buildChain assembles a K-stage pipeline where stage i adds i to the
+// value and forwards; stage ownership round-robins across ranks, so every
+// hop crosses the network.
+func buildChain(p *backend.Proc, stages int, sink func(k serde.Int1, v float64)) (*core.Graph, *core.Edge) {
+	g := p.NewGraph()
+	edges := make([]*core.Edge, stages+1)
+	for i := range edges {
+		edges[i] = core.NewEdge("e")
+	}
+	for i := 0; i < stages; i++ {
+		i := i
+		g.AddTT(core.TTSpec{
+			Name:    "stage",
+			Inputs:  []core.InputSpec{{Edge: edges[i]}},
+			Outputs: []core.OutputSpec{{Edge: edges[i+1]}},
+			Keymap:  func(k any) int { return (k.(serde.Int1)[0] + i) % p.Size() },
+			Body: func(ctx *core.TaskContext) {
+				ctx.Send(0, ctx.Key(), ctx.Input(0).(float64)+float64(i))
+			},
+		})
+	}
+	g.AddTT(core.TTSpec{
+		Name:   "sink",
+		Inputs: []core.InputSpec{{Edge: edges[stages]}},
+		Keymap: func(k any) int { return k.(serde.Int1)[0] % p.Size() },
+		Body: func(ctx *core.TaskContext) {
+			sink(ctx.Key().(serde.Int1), ctx.Input(0).(float64))
+		},
+	})
+	g.Seal()
+	return g, edges[0]
+}
+
+func runChain(t *testing.T, rt *backend.Runtime, keys int, stages int) map[int]float64 {
+	t.Helper()
+	var mu sync.Mutex
+	results := map[int]float64{}
+	rt.Run(func(p *backend.Proc) {
+		g, in := buildChain(p, stages, func(k serde.Int1, v float64) {
+			mu.Lock()
+			results[k[0]] = v
+			mu.Unlock()
+		})
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < keys; k++ {
+				g.Seed(in, serde.Int1{k}, float64(k))
+			}
+		}
+		g.Fence()
+	})
+	return results
+}
+
+func expectChain(t *testing.T, results map[int]float64, keys, stages int) {
+	t.Helper()
+	if len(results) != keys {
+		t.Fatalf("got %d results, want %d", len(results), keys)
+	}
+	sum := 0
+	for i := 0; i < stages; i++ {
+		sum += i
+	}
+	for k := 0; k < keys; k++ {
+		if want := float64(k + sum); results[k] != want {
+			t.Fatalf("key %d: got %v want %v", k, results[k], want)
+		}
+	}
+}
+
+func TestChainAcrossRanksParsec(t *testing.T) {
+	rt := parsec.New(4, parsec.Config{WorkersPerRank: 2})
+	results := runChain(t, rt, 20, 8)
+	expectChain(t, results, 20, 8)
+}
+
+func TestChainAcrossRanksMadness(t *testing.T) {
+	rt := madness.New(4, madness.Config{WorkersPerRank: 2})
+	results := runChain(t, rt, 20, 8)
+	expectChain(t, results, 20, 8)
+}
+
+func TestChainWithNetworkLatency(t *testing.T) {
+	rt := parsec.New(3, parsec.Config{
+		WorkersPerRank: 2,
+		Net:            simnet.Config{Latency: 100 * time.Microsecond, BandwidthBps: 1 << 30},
+	})
+	results := runChain(t, rt, 10, 5)
+	expectChain(t, results, 10, 5)
+}
+
+func TestAllSchedulerPolicies(t *testing.T) {
+	for _, pol := range []sched.Policy{sched.PolicyFIFO, sched.PolicyLIFO, sched.PolicyPriority, sched.PolicySteal} {
+		t.Run(pol.String(), func(t *testing.T) {
+			rt := parsec.New(2, parsec.Config{WorkersPerRank: 2, Policy: pol, HasPolicy: true})
+			results := runChain(t, rt, 12, 4)
+			expectChain(t, results, 12, 4)
+		})
+	}
+}
+
+// TestSplitMDUsedForLargePayloads verifies large splitmd-capable values
+// take the rendezvous path on the PaRSEC-model backend and the archive
+// path on the MADNESS-model backend.
+func TestSplitMDProtocolSelection(t *testing.T) {
+	run := func(rt *backend.Runtime) (got []float64, snap trace.Snapshot) {
+		var mu sync.Mutex
+		rt.Run(func(p *backend.Proc) {
+			g := p.NewGraph()
+			in := core.NewEdge("in")
+			out := core.NewEdge("out")
+			g.AddTT(core.TTSpec{
+				Name:    "src",
+				Inputs:  []core.InputSpec{{Edge: in}},
+				Outputs: []core.OutputSpec{{Edge: out}},
+				Keymap:  func(any) int { return 0 },
+				Body: func(ctx *core.TaskContext) {
+					big := &vec{n: 4096, data: make([]float64, 4096)}
+					for i := range big.data {
+						big.data[i] = float64(i)
+					}
+					ctx.SendMode(0, ctx.Key(), big, core.SendMove)
+				},
+			})
+			g.AddTT(core.TTSpec{
+				Name:   "dst",
+				Inputs: []core.InputSpec{{Edge: out}},
+				Keymap: func(any) int { return 1 },
+				Body: func(ctx *core.TaskContext) {
+					v := ctx.Input(0).(*vec)
+					mu.Lock()
+					got = append(got, v.data[4095])
+					mu.Unlock()
+				},
+			})
+			g.Seal()
+			p.Bind(g)
+			if p.Rank() == 0 {
+				g.Seed(in, serde.Int1{0}, 0.0)
+			}
+			g.Fence()
+			if p.Rank() == 0 {
+				snap = p.Tracer().Snapshot()
+			}
+		})
+		return
+	}
+
+	got, snap := run(parsec.New(2, parsec.Config{WorkersPerRank: 1}))
+	if len(got) != 1 || got[0] != 4095 {
+		t.Fatalf("parsec: payload corrupted: %v", got)
+	}
+	if snap.SplitMDTransfers == 0 {
+		t.Fatalf("parsec: splitmd not used for 32KB payload: %+v", snap)
+	}
+
+	got, snap = run(madness.New(2, madness.Config{WorkersPerRank: 1}))
+	if len(got) != 1 || got[0] != 4095 {
+		t.Fatalf("madness: payload corrupted: %v", got)
+	}
+	if snap.SplitMDTransfers != 0 || snap.ArchiveTransfers == 0 {
+		t.Fatalf("madness: should use archive path: %+v", snap)
+	}
+}
+
+// TestTreeBroadcast sends one value to every rank and checks the root sent
+// fewer packets than destinations (tree fanout) while all tasks fired.
+func TestTreeBroadcast(t *testing.T) {
+	const ranks = 8
+	var mu sync.Mutex
+	fired := map[int]int{}
+	var rootSent int64
+	rt := parsec.New(ranks, parsec.Config{WorkersPerRank: 1})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		out := core.NewEdge("out")
+		g.AddTT(core.TTSpec{
+			Name:    "src",
+			Inputs:  []core.InputSpec{{Edge: in}},
+			Outputs: []core.OutputSpec{{Edge: out}},
+			Keymap:  func(any) int { return 0 },
+			Body: func(ctx *core.TaskContext) {
+				keys := make([]any, ranks)
+				for r := 0; r < ranks; r++ {
+					keys[r] = serde.Int1{r}
+				}
+				ctx.Broadcast(0, keys, 3.14)
+			},
+		})
+		g.AddTT(core.TTSpec{
+			Name:   "dst",
+			Inputs: []core.InputSpec{{Edge: out}},
+			Keymap: func(k any) int { return k.(serde.Int1)[0] % ranks },
+			Body: func(ctx *core.TaskContext) {
+				mu.Lock()
+				fired[ctx.Rank()]++
+				mu.Unlock()
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			g.Seed(in, serde.Int1{0}, 0.0)
+		}
+		g.Fence()
+		if p.Rank() == 0 {
+			rootSent = p.Tracer().Snapshot().MsgsSent
+		}
+	})
+	if len(fired) != ranks {
+		t.Fatalf("broadcast fired on %d ranks, want %d", len(fired), ranks)
+	}
+	for r, c := range fired {
+		if c != 1 {
+			t.Fatalf("rank %d fired %d times", r, c)
+		}
+	}
+	// Binomial tree over 8 ranks: root sends 3 packets, not 7.
+	if rootSent >= int64(ranks-1) {
+		t.Fatalf("root sent %d packets; tree broadcast should send fewer than %d", rootSent, ranks-1)
+	}
+}
+
+// TestMultipleFences runs two phases separated by fences in one graph.
+func TestMultipleFences(t *testing.T) {
+	const ranks = 3
+	var mu sync.Mutex
+	var phase1, phase2 int
+	rt := parsec.New(ranks, parsec.Config{WorkersPerRank: 2})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		g.AddTT(core.TTSpec{
+			Name:   "work",
+			Inputs: []core.InputSpec{{Edge: in}},
+			Keymap: func(k any) int { return k.(serde.Int1)[0] % ranks },
+			Body: func(ctx *core.TaskContext) {
+				mu.Lock()
+				if ctx.Input(0).(int) == 1 {
+					phase1++
+				} else {
+					phase2++
+				}
+				mu.Unlock()
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < 10; k++ {
+				g.Seed(in, serde.Int1{k}, 1)
+			}
+		}
+		g.Fence()
+		mu.Lock()
+		p1 := phase1
+		mu.Unlock()
+		if p1 != 10 {
+			t.Errorf("after fence 1: phase1 = %d, want 10", p1)
+		}
+		if p.Rank() == 1 {
+			for k := 10; k < 15; k++ {
+				g.Seed(in, serde.Int1{k}, 2)
+			}
+		}
+		g.Fence()
+	})
+	if phase1 != 10 || phase2 != 5 {
+		t.Fatalf("phase1=%d phase2=%d, want 10, 5", phase1, phase2)
+	}
+}
+
+// TestDeepRecursiveUnfold exercises dynamic data-dependent DAG unfolding:
+// each task spawns children until a depth limit, across ranks.
+func TestDeepRecursiveUnfold(t *testing.T) {
+	const ranks = 4
+	const depth = 7
+	var count int64
+	var mu sync.Mutex
+	rt := parsec.New(ranks, parsec.Config{WorkersPerRank: 2})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		e := core.NewEdge("rec")
+		g.AddTT(core.TTSpec{
+			Name:    "node",
+			Inputs:  []core.InputSpec{{Edge: e}},
+			Outputs: []core.OutputSpec{{Edge: e}},
+			Keymap:  func(k any) int { return core.HashKey(k) % ranks },
+			Body: func(ctx *core.TaskContext) {
+				mu.Lock()
+				count++
+				mu.Unlock()
+				k := ctx.Key().(serde.Int2)
+				if k[0] < depth {
+					ctx.Send(0, serde.Int2{k[0] + 1, k[1] * 2}, 0.0)
+					ctx.Send(0, serde.Int2{k[0] + 1, k[1]*2 + 1}, 0.0)
+				}
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			g.Seed(e, serde.Int2{0, 0}, 0.0)
+		}
+		g.Fence()
+	})
+	if want := int64(1<<(depth+1) - 1); count != want {
+		t.Fatalf("unfolded %d tasks, want %d", count, want)
+	}
+}
+
+// TestStreamingAcrossRanks drives a streaming terminal with remote senders.
+func TestStreamingAcrossRanks(t *testing.T) {
+	const ranks = 4
+	var total float64
+	rt := parsec.New(ranks, parsec.Config{WorkersPerRank: 1})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		acc := core.NewEdge("acc")
+		g.AddTT(core.TTSpec{
+			Name:    "produce",
+			Inputs:  []core.InputSpec{{Edge: in}},
+			Outputs: []core.OutputSpec{{Edge: acc}},
+			Keymap:  func(k any) int { return k.(serde.Int1)[0] % ranks },
+			Body: func(ctx *core.TaskContext) {
+				ctx.Send(0, serde.Int1{0}, float64(ctx.Key().(serde.Int1)[0]))
+			},
+		})
+		g.AddTT(core.TTSpec{
+			Name: "reduce",
+			Inputs: []core.InputSpec{{
+				Edge: acc,
+				Reducer: func(a, v any) any {
+					if a == nil {
+						return v
+					}
+					return a.(float64) + v.(float64)
+				},
+				StreamSize: func(any) int { return 16 },
+			}},
+			Keymap: func(any) int { return 2 },
+			Body: func(ctx *core.TaskContext) {
+				total = ctx.Input(0).(float64)
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < 16; k++ {
+				g.Seed(in, serde.Int1{k}, 0.0)
+			}
+		}
+		g.Fence()
+	})
+	if total != 120 { // 0+1+...+15
+		t.Fatalf("stream total = %v, want 120", total)
+	}
+}
+
+// TestSplitMDRegionsReleased: after quiescence the release acknowledgements
+// drain every registered source object (the sender-release step of the
+// §II-C protocol) — no RMA region leaks.
+func TestSplitMDRegionsReleased(t *testing.T) {
+	rt := parsec.New(2, parsec.Config{WorkersPerRank: 1})
+	var procs [2]*backend.Proc
+	rt.Run(func(p *backend.Proc) {
+		procs[p.Rank()] = p
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		out := core.NewEdge("out")
+		g.AddTT(core.TTSpec{
+			Name:    "src",
+			Inputs:  []core.InputSpec{{Edge: in}},
+			Outputs: []core.OutputSpec{{Edge: out}},
+			Keymap:  func(any) int { return 0 },
+			Body: func(ctx *core.TaskContext) {
+				big := &vec{n: 4096, data: make([]float64, 4096)}
+				ctx.SendMode(0, ctx.Key(), big, core.SendMove)
+			},
+		})
+		g.AddTT(core.TTSpec{
+			Name:   "dst",
+			Inputs: []core.InputSpec{{Edge: out}},
+			Keymap: func(any) int { return 1 },
+			Body:   func(ctx *core.TaskContext) {},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < 10; k++ {
+				g.Seed(in, serde.Int1{k}, 0.0)
+			}
+		}
+		g.Fence()
+		// Acks are fire-and-forget control traffic outside termination
+		// detection; give them a moment to drain.
+		deadline := time.Now().Add(2 * time.Second)
+		for p.PendingRMARegions() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if n := p.PendingRMARegions(); n != 0 {
+			t.Errorf("rank %d leaks %d RMA regions", p.Rank(), n)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package madness
+
+import "sync"
+
+// Future is the MADNESS runtime's central coordination element (§II-D):
+// a write-once value that hides latency by letting dependent work attach
+// callbacks instead of blocking. The backend models MADNESS's
+// future-driven dependency management; the type is also exported for
+// library users composing asynchronous flows around a graph.
+type Future[T any] struct {
+	mu        sync.Mutex
+	done      chan struct{}
+	value     T
+	set       bool
+	callbacks []func(T)
+}
+
+// NewFuture returns an unset future.
+func NewFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// NewReadyFuture returns a future already holding v (MADNESS's
+// future-from-value constructor, used when a dependency is immediately
+// available).
+func NewReadyFuture[T any](v T) *Future[T] {
+	f := NewFuture[T]()
+	f.Set(v)
+	return f
+}
+
+// Set fulfills the future and runs attached callbacks. Setting twice
+// panics: futures are write-once.
+func (f *Future[T]) Set(v T) {
+	f.mu.Lock()
+	if f.set {
+		f.mu.Unlock()
+		panic("madness: future set twice")
+	}
+	f.value = v
+	f.set = true
+	cbs := f.callbacks
+	f.callbacks = nil
+	f.mu.Unlock()
+	close(f.done)
+	for _, cb := range cbs {
+		cb(v)
+	}
+}
+
+// Probe reports whether the future holds a value (non-blocking).
+func (f *Future[T]) Probe() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set
+}
+
+// Get blocks until the value is available.
+func (f *Future[T]) Get() T {
+	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.value
+}
+
+// OnReady attaches a callback run when the value is set; if it already is,
+// the callback runs immediately on the caller's goroutine. This is how
+// task dependencies chain without blocking a worker thread.
+func (f *Future[T]) OnReady(cb func(T)) {
+	f.mu.Lock()
+	if f.set {
+		v := f.value
+		f.mu.Unlock()
+		cb(v)
+		return
+	}
+	f.callbacks = append(f.callbacks, cb)
+	f.mu.Unlock()
+}
+
+// Then derives a future by transforming this one's value when it arrives.
+func Then[T, U any](f *Future[T], fn func(T) U) *Future[U] {
+	out := NewFuture[U]()
+	f.OnReady(func(v T) { out.Set(fn(v)) })
+	return out
+}
+
+// WhenAll resolves when every input future has, collecting the values in
+// order (the join MADNESS uses to gate a task on several dependencies).
+func WhenAll[T any](fs ...*Future[T]) *Future[[]T] {
+	out := NewFuture[[]T]()
+	if len(fs) == 0 {
+		out.Set(nil)
+		return out
+	}
+	var mu sync.Mutex
+	vals := make([]T, len(fs))
+	remaining := len(fs)
+	for i, f := range fs {
+		i, f := i, f
+		f.OnReady(func(v T) {
+			mu.Lock()
+			vals[i] = v
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				out.Set(vals)
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package madness
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFutureSetGet(t *testing.T) {
+	f := NewFuture[int]()
+	if f.Probe() {
+		t.Fatal("unset future probes true")
+	}
+	go func() {
+		time.Sleep(time.Millisecond)
+		f.Set(42)
+	}()
+	if got := f.Get(); got != 42 {
+		t.Fatalf("Get = %d", got)
+	}
+	if !f.Probe() {
+		t.Fatal("set future probes false")
+	}
+}
+
+func TestFutureDoubleSetPanics(t *testing.T) {
+	f := NewReadyFuture(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Set did not panic")
+		}
+	}()
+	f.Set(2)
+}
+
+func TestFutureCallbacksBeforeAndAfterSet(t *testing.T) {
+	f := NewFuture[string]()
+	var order []string
+	var mu sync.Mutex
+	f.OnReady(func(v string) {
+		mu.Lock()
+		order = append(order, "early:"+v)
+		mu.Unlock()
+	})
+	f.Set("x")
+	f.OnReady(func(v string) {
+		mu.Lock()
+		order = append(order, "late:"+v)
+		mu.Unlock()
+	})
+	if len(order) != 2 || order[0] != "early:x" || order[1] != "late:x" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestThenChains(t *testing.T) {
+	f := NewFuture[int]()
+	g := Then(f, func(v int) string {
+		if v == 7 {
+			return "seven"
+		}
+		return "?"
+	})
+	f.Set(7)
+	if g.Get() != "seven" {
+		t.Fatalf("Then = %q", g.Get())
+	}
+}
+
+func TestWhenAllJoins(t *testing.T) {
+	fs := make([]*Future[int], 5)
+	for i := range fs {
+		fs[i] = NewFuture[int]()
+	}
+	all := WhenAll(fs...)
+	for i := 4; i >= 0; i-- {
+		if all.Probe() {
+			t.Fatal("joined before all inputs set")
+		}
+		fs[i].Set(i * i)
+	}
+	vals := all.Get()
+	for i, v := range vals {
+		if v != i*i {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+	if empty := WhenAll[int](); empty.Get() != nil {
+		t.Fatal("empty WhenAll should resolve to nil")
+	}
+}
+
+func TestFutureConcurrentReaders(t *testing.T) {
+	f := NewFuture[int]()
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if f.Get() == 9 {
+				hits.Add(1)
+			}
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		f.OnReady(func(int) { hits.Add(1) })
+	}
+	f.Set(9)
+	wg.Wait()
+	if hits.Load() != 48 {
+		t.Fatalf("hits = %d, want 48", hits.Load())
+	}
+}

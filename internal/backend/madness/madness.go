@@ -1,0 +1,35 @@
+// Package madness configures the runtime engine after the paper's MADNESS
+// backend (§II-D): an SPMD model with a thread pool per process and a
+// dedicated thread serving remote active messages. Data always travels as
+// whole serialized objects (no splitmd), and the runtime does not track
+// data lifetimes, so const-ref sends still copy — the copy and
+// communication overheads the paper observes for TTG-over-MADNESS in the
+// MRA benchmark follow from exactly these two properties.
+package madness
+
+import (
+	"repro/internal/backend"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+)
+
+// Config tunes the MADNESS-model runtime.
+type Config struct {
+	// WorkersPerRank sizes each rank's pool (default: NumCPU/ranks).
+	WorkersPerRank int
+	// Net configures fabric latency/bandwidth.
+	Net simnet.Config
+}
+
+// New builds a MADNESS-model runtime over ranks virtual processes.
+func New(ranks int, cfg Config) *backend.Runtime {
+	return backend.New(ranks, backend.Options{
+		Name:           "madness",
+		WorkersPerRank: cfg.WorkersPerRank,
+		Policy:         sched.PolicyFIFO,
+		TracksData:     false,
+		SplitMD:        false,
+		TreeBroadcast:  false,
+		Net:            cfg.Net,
+	})
+}

@@ -1,0 +1,120 @@
+package backend_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/backend/parsec"
+	"repro/internal/core"
+	"repro/internal/serde"
+	"repro/internal/simnet"
+)
+
+func TestBindTwicePanics(t *testing.T) {
+	rt := parsec.New(1, parsec.Config{WorkersPerRank: 1})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		g.AddTT(core.TTSpec{Name: "x", Inputs: []core.InputSpec{{Edge: in}}, Body: func(*core.TaskContext) {}})
+		g.Seal()
+		p.Bind(g)
+		defer func() {
+			if recover() == nil {
+				t.Error("second Bind did not panic")
+			}
+		}()
+		p.Bind(g)
+	})
+}
+
+func TestBindUnsealedPanics(t *testing.T) {
+	rt := parsec.New(1, parsec.Config{WorkersPerRank: 1})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		g.AddTT(core.TTSpec{Name: "x", Inputs: []core.InputSpec{{Edge: in}}, Body: func(*core.TaskContext) {}})
+		defer func() {
+			if recover() == nil {
+				t.Error("Bind before Seal did not panic")
+			}
+			g.Seal()
+			p.Bind(g)
+		}()
+		p.Bind(g)
+	})
+}
+
+func TestProcAccessors(t *testing.T) {
+	rt := parsec.New(3, parsec.Config{WorkersPerRank: 2})
+	seen := map[int]bool{}
+	var mu sync.Mutex
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		g.AddTT(core.TTSpec{Name: "x", Inputs: []core.InputSpec{{Edge: in}}, Body: func(*core.TaskContext) {}})
+		g.Seal()
+		p.Bind(g)
+		mu.Lock()
+		seen[p.Rank()] = true
+		mu.Unlock()
+		if p.Size() != 3 || p.Workers() != 2 {
+			t.Errorf("size/workers = %d/%d", p.Size(), p.Workers())
+		}
+		if !p.TracksData() || !p.SupportsSplitMD() {
+			t.Error("parsec backend should track data and support splitmd")
+		}
+		g.Fence()
+	})
+	if len(seen) != 3 {
+		t.Fatalf("ranks seen: %v", seen)
+	}
+	if rt.Ranks() != 3 || rt.Options().Name != "parsec" {
+		t.Fatalf("runtime accessors wrong")
+	}
+}
+
+// TestStressManyRanksLatencyRace floods an 8-rank fabric with fine-grained
+// cross-rank traffic under latency; run with -race this doubles as the
+// backend's concurrency audit.
+func TestStressManyRanksLatencyRace(t *testing.T) {
+	const ranks = 8
+	const keys = 200
+	var count int64
+	var mu sync.Mutex
+	rt := parsec.New(ranks, parsec.Config{
+		WorkersPerRank: 2,
+		Net:            simnet.Config{Latency: 20 * time.Microsecond},
+	})
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		e := core.NewEdge("ring")
+		g.AddTT(core.TTSpec{
+			Name:    "hop",
+			Inputs:  []core.InputSpec{{Edge: e}},
+			Outputs: []core.OutputSpec{{Edge: e}},
+			Keymap:  func(k any) int { return (k.(serde.Int2)[0] + k.(serde.Int2)[1]) % ranks },
+			Body: func(ctx *core.TaskContext) {
+				k := ctx.Key().(serde.Int2)
+				mu.Lock()
+				count++
+				mu.Unlock()
+				if k[1] < 7 {
+					ctx.Send(0, serde.Int2{k[0], k[1] + 1}, ctx.Input(0))
+				}
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < keys; k++ {
+				g.Seed(e, serde.Int2{k, 0}, float64(k))
+			}
+		}
+		g.Fence()
+	})
+	if count != keys*8 {
+		t.Fatalf("hops = %d, want %d", count, keys*8)
+	}
+}

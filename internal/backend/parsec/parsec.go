@@ -1,0 +1,47 @@
+// Package parsec configures the runtime engine after the paper's PaRSEC
+// backend (§II-D): the runtime owns data flowing through the graph (so
+// const-ref sends avoid copies), communication uses active messages for
+// control, one-sided transfers via the split-metadata protocol for large
+// payloads, completion callbacks for notifications, and optimized
+// broadcasts forwarded along binomial trees. Scheduling honors priority
+// maps; a work-stealing policy is available as an alternative module, in
+// the spirit of PaRSEC's modular component architecture.
+package parsec
+
+import (
+	"repro/internal/backend"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+)
+
+// Config tunes the PaRSEC-model runtime.
+type Config struct {
+	// WorkersPerRank sizes each rank's pool (default: NumCPU/ranks).
+	WorkersPerRank int
+	// Policy overrides the scheduler module; default PolicyPriority.
+	Policy sched.Policy
+	// HasPolicy marks Policy as explicitly set (so PolicyFIFO is usable).
+	HasPolicy bool
+	// EagerThreshold is the splitmd switch-over size in bytes.
+	EagerThreshold int
+	// Net configures fabric latency/bandwidth.
+	Net simnet.Config
+}
+
+// New builds a PaRSEC-model runtime over ranks virtual processes.
+func New(ranks int, cfg Config) *backend.Runtime {
+	pol := sched.PolicyPriority
+	if cfg.HasPolicy {
+		pol = cfg.Policy
+	}
+	return backend.New(ranks, backend.Options{
+		Name:           "parsec",
+		WorkersPerRank: cfg.WorkersPerRank,
+		Policy:         pol,
+		TracksData:     true,
+		SplitMD:        true,
+		TreeBroadcast:  true,
+		EagerThreshold: cfg.EagerThreshold,
+		Net:            cfg.Net,
+	})
+}

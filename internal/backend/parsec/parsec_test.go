@@ -1,0 +1,28 @@
+package parsec
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestDefaultsAndOverrides(t *testing.T) {
+	rt := New(2, Config{WorkersPerRank: 1})
+	defer rt.Shutdown()
+	opts := rt.Options()
+	if opts.Name != "parsec" || !opts.TracksData || !opts.SplitMD || !opts.TreeBroadcast {
+		t.Fatalf("parsec preset wrong: %+v", opts)
+	}
+	if opts.Policy != sched.PolicyPriority {
+		t.Fatalf("default policy = %v, want priority", opts.Policy)
+	}
+	if opts.EagerThreshold <= 0 {
+		t.Fatalf("eager threshold unset")
+	}
+
+	rt2 := New(1, Config{WorkersPerRank: 1, Policy: sched.PolicyFIFO, HasPolicy: true, EagerThreshold: 99})
+	defer rt2.Shutdown()
+	if o := rt2.Options(); o.Policy != sched.PolicyFIFO || o.EagerThreshold != 99 {
+		t.Fatalf("overrides not applied: %+v", o)
+	}
+}

@@ -1,0 +1,139 @@
+package backend_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/ttg"
+)
+
+// Randomized whole-system property: a randomly generated layered task
+// graph with data-dependent fan-out computes the same multiset of sink
+// values on 1 rank and on 4 ranks, on both backends. This exercises
+// routing, serialization, streaming reducers, and termination detection
+// together under randomized structure.
+
+type randProgram struct {
+	layers   int
+	width    int
+	seeds    int
+	fanof    func(layer, key int, v float64) []int // next-layer keys
+	transmit func(layer, key int, v float64) float64
+}
+
+func newRandProgram(seed int64) *randProgram {
+	rng := rand.New(rand.NewSource(seed))
+	layers := 3 + rng.Intn(4)
+	width := 8 + rng.Intn(24)
+	mixer := rng.Int63()
+	return &randProgram{
+		layers: layers,
+		width:  width,
+		seeds:  4 + rng.Intn(8),
+		fanof: func(layer, key int, v float64) []int {
+			// Data-dependent fan-out of 0-3 successors, deterministic in
+			// (layer, key, value).
+			h := uint64(layer)*0x9E3779B97F4A7C15 ^ uint64(key)*0xC2B2AE3D27D4EB4F ^ uint64(int64(v*64)) ^ uint64(mixer)
+			h ^= h >> 31
+			n := int(h % 4)
+			out := make([]int, n)
+			for i := range out {
+				h = h*0xFF51AFD7ED558CCD + 17
+				out[i] = int(h>>17) % width
+				if out[i] < 0 {
+					out[i] = -out[i]
+				}
+			}
+			return out
+		},
+		transmit: func(layer, key int, v float64) float64 {
+			return v/2 + float64(layer*31+key*7)
+		},
+	}
+}
+
+// run executes the program and returns the per-sink-key sum of arrivals.
+func (rp *randProgram) run(be ttg.Backend, ranks int) map[int]float64 {
+	var mu sync.Mutex
+	sums := map[int]float64{}
+	ttg.Run(ttg.Config{Ranks: ranks, WorkersPerRank: 2, Backend: be}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		edges := make([]ttg.Edge[ttg.Int2, float64], rp.layers+1)
+		for i := range edges {
+			edges[i] = ttg.NewEdge[ttg.Int2, float64](fmt.Sprintf("layer%d", i))
+		}
+		for l := 0; l < rp.layers; l++ {
+			l := l
+			// Every node is a streaming accumulator: it may receive several
+			// messages from the previous layer; the stream is closed by a
+			// per-key count announced below via an exact pre-computation,
+			// so instead we use unbounded streams finalized by a control
+			// sweep — simplest here: reduce with a fixed "round" trick is
+			// impossible for random fan-in, so nodes fire per message
+			// (plain input) and sinks sum.
+			ttg.MakeTT1(g, fmt.Sprintf("L%d", l),
+				ttg.ReduceInput(edges[l],
+					func(a, v float64) float64 { return a + v },
+					func(ttg.Int2) int { return 1 }, // fire per message: stream of 1
+				),
+				ttg.Out(edges[l+1]),
+				func(x *ttg.Ctx[ttg.Int2], v float64) {
+					key := x.Key()[0]
+					out := rp.transmit(l, key, v)
+					for _, nk := range rp.fanof(l, key, v) {
+						// Successive messages to the same (layer+1, key)
+						// need distinct task IDs; fold the sender into the
+						// ID's second slot.
+						ttg.Send(x, edges[l+1], ttg.Int2{nk, key*rp.width + x.Key()[1]%rp.width}, out)
+					}
+				},
+				ttg.Options[ttg.Int2]{Keymap: func(k ttg.Int2) int { return (k[0] + k[1]) % pc.Size() }},
+			)
+		}
+		ttg.MakeTT1(g, "sink",
+			ttg.ReduceInput(edges[rp.layers],
+				func(a, v float64) float64 { return a + v },
+				func(ttg.Int2) int { return 1 },
+			), nil,
+			func(x *ttg.Ctx[ttg.Int2], v float64) {
+				mu.Lock()
+				sums[x.Key()[0]] += v
+				mu.Unlock()
+			},
+			ttg.Options[ttg.Int2]{Keymap: func(k ttg.Int2) int { return k[0] % pc.Size() }},
+		)
+		g.MakeExecutable()
+		if pc.Rank() == 0 {
+			for s := 0; s < rp.seeds; s++ {
+				ttg.Seed(g, edges[0], ttg.Int2{s % rp.width, s}, float64(s)+0.5)
+			}
+		}
+		g.Fence()
+	})
+	return sums
+}
+
+func TestRandomGraphEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rp := newRandProgram(seed)
+			ref := rp.run(ttg.PaRSEC, 1)
+			for _, ranks := range []int{4} {
+				for _, be := range []ttg.Backend{ttg.PaRSEC, ttg.MADNESS} {
+					got := rp.run(be, ranks)
+					if len(got) != len(ref) {
+						t.Fatalf("%s/%d: %d sink keys vs reference %d", be, ranks, len(got), len(ref))
+					}
+					for k, v := range ref {
+						if dv := got[k] - v; dv > 1e-9 || dv < -1e-9 {
+							t.Fatalf("%s/%d: sink %d = %v, reference %v", be, ranks, k, got[k], v)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// TestDeviceOffload: offloaded tasks run concurrently on the device pool
+// and report under the @dev profile key.
+func TestDeviceOffload(t *testing.T) {
+	m := idealMachine()
+	m.Accelerators = 2
+	m.AccelRate = 1e9
+	m.HostDevBandwidth = 1e12
+	const tasks = 8
+	const devCost = 1e-3
+	rt := New(Config{
+		Ranks: 1, WorkersPerRank: 1, Machine: m,
+		Flavor:     cluster.Flavor{Name: "bare"},
+		Cost:       func(*core.Task) float64 { return devCost * 100 }, // host would be 100x slower
+		DeviceCost: func(*core.Task) (float64, bool) { return devCost, true },
+	})
+	rt.Run(func(p *Proc) {
+		g, in := buildIndependent(p, 1)
+		p.Bind(g)
+		for k := 0; k < tasks; k++ {
+			g.Seed(in, serde.Int1{k}, 1.0)
+		}
+		p.Fence()
+	})
+	// 8 tasks on 2 devices at 1ms each ≈ 4ms (vs 800ms on the host).
+	if got := rt.LastDrainTime(); got < 3.9e-3 || got > 6e-3 {
+		t.Fatalf("device makespan %v, want ~4ms", got)
+	}
+	found := false
+	for name, st := range rt.Profile() {
+		if strings.HasSuffix(name, "@dev") {
+			found = true
+			if st.Tasks != tasks {
+				t.Fatalf("device profile %s = %+v, want %d tasks", name, st, tasks)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no @dev entry in the profile")
+	}
+}
+
+// TestDeviceSelectivity: only tasks the model claims are offloaded; the
+// rest run on host workers.
+func TestDeviceSelectivity(t *testing.T) {
+	m := idealMachine()
+	m.Accelerators = 1
+	rt := New(Config{
+		Ranks: 1, WorkersPerRank: 1, Machine: m,
+		Flavor: cluster.Flavor{Name: "bare"},
+		Cost:   func(*core.Task) float64 { return 1e-4 },
+		DeviceCost: func(t *core.Task) (float64, bool) {
+			return 1e-5, t.Key.(serde.Int1)[0]%2 == 0 // offload even keys
+		},
+	})
+	rt.Run(func(p *Proc) {
+		g, in := buildIndependent(p, 1)
+		p.Bind(g)
+		for k := 0; k < 10; k++ {
+			g.Seed(in, serde.Int1{k}, 1.0)
+		}
+		p.Fence()
+	})
+	prof := rt.Profile()
+	if prof["work@dev"].Tasks != 5 || prof["work"].Tasks != 5 {
+		t.Fatalf("split wrong: %+v", prof)
+	}
+}
+
+// TestHostOnlyIgnoresDeviceModel: with zero accelerators the device cost
+// function is never consulted.
+func TestHostOnlyIgnoresDeviceModel(t *testing.T) {
+	m := idealMachine() // Accelerators = 0
+	rt := New(Config{
+		Ranks: 1, WorkersPerRank: 2, Machine: m,
+		Flavor: cluster.Flavor{Name: "bare"},
+		DeviceCost: func(*core.Task) (float64, bool) {
+			t.Error("device model consulted on a host-only machine")
+			return 0, true
+		},
+	})
+	rt.Run(func(p *Proc) {
+		g, in := buildIndependent(p, 1)
+		p.Bind(g)
+		g.Seed(in, serde.Int1{0}, 1.0)
+		p.Fence()
+	})
+}
+
+// TestTimelineExport records spans and renders Chrome trace JSON with
+// non-overlapping lanes.
+func TestTimelineExport(t *testing.T) {
+	m := idealMachine()
+	rt := New(Config{
+		Ranks: 2, WorkersPerRank: 2, Machine: m,
+		Flavor: cluster.Flavor{Name: "bare"},
+		Cost:   func(*core.Task) float64 { return 1e-3 },
+	})
+	tl := rt.EnableTimeline()
+	rt.Run(func(p *Proc) {
+		g, in := buildIndependent(p, 2)
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < 8; k++ {
+				g.Seed(in, serde.Int1{k}, 1.0)
+			}
+		}
+		p.Fence()
+	})
+	if len(tl.Spans()) != 8 {
+		t.Fatalf("recorded %d spans, want 8", len(tl.Spans()))
+	}
+	j := tl.ChromeJSON()
+	if !strings.HasPrefix(j, "[") || !strings.Contains(j, `"ph":"X"`) || !strings.Contains(j, `"name":"work"`) {
+		t.Fatalf("chrome json malformed: %s", j[:min(200, len(j))])
+	}
+	// With 2 workers per rank, at most lanes 0 and 1 appear per rank.
+	if strings.Contains(j, `"tid":2`) {
+		t.Fatalf("more lanes than workers: %s", j)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,578 @@
+// Package sim is the virtual-time backend: it executes real template task
+// graphs (real control flow, keymaps, streaming reducers, broadcast plans)
+// over a discrete-event simulation of a cluster, charging task and message
+// costs from a machine model (internal/cluster) and a runtime-flavor
+// overhead profile. The figure benches use it to regenerate the paper's
+// scaling experiments at up to 256 virtual nodes of 60 virtual workers.
+//
+// Contract with applications: payloads sent through a sim graph must be
+// phantom (shape metadata only, e.g. a Tile with nil data) or treated as
+// immutable after send — the simulator does not copy values across virtual
+// ranks, it only charges the time real copies would take.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/sched"
+	"repro/internal/serde"
+	"repro/internal/trace"
+)
+
+// Config assembles a virtual cluster run.
+type Config struct {
+	// Ranks is the number of virtual nodes.
+	Ranks int
+	// WorkersPerRank overrides Machine.Workers when positive.
+	WorkersPerRank int
+	// Machine supplies kernel rates and network parameters.
+	Machine cluster.Machine
+	// Flavor supplies the runtime-system overhead profile.
+	Flavor cluster.Flavor
+	// Cost returns a task's compute time in seconds; nil means zero
+	// compute (pure coordination graphs).
+	Cost func(t *core.Task) float64
+	// DeviceCost, when non-nil, may claim a task for an accelerator: it
+	// returns the device-side execution time (including any host-device
+	// transfer the caller wants charged) and whether to offload. Tasks are
+	// offloaded only on machines with Accelerators > 0. This implements
+	// the heterogeneous-platform support the paper defers to future work.
+	DeviceCost func(t *core.Task) (float64, bool)
+}
+
+// Runtime is a virtual cluster executing one TTG program in virtual time.
+type Runtime struct {
+	cfg   Config
+	eng   *des.Engine
+	procs []*Proc
+
+	mu      sync.Mutex // guards engine+procs during the seeding phase
+	inDrain atomic.Bool
+
+	fmu       sync.Mutex
+	fcond     *sync.Cond
+	waiting   int
+	epoch     int
+	lastDrain float64
+
+	curExtra float64 // copy-time charged during the current event
+	profile  map[string]*TTStat
+	timeline *Timeline
+	// effectBuf, when non-nil, captures executor effects (submits, sends)
+	// of the task body being executed so they can be released after the
+	// body's copy-time extension — copies then delay consumers, not just
+	// the worker.
+	effectBuf *[]func()
+}
+
+// New builds a virtual cluster.
+func New(cfg Config) *Runtime {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.WorkersPerRank <= 0 {
+		cfg.WorkersPerRank = cfg.Machine.Workers
+		if cfg.WorkersPerRank <= 0 {
+			cfg.WorkersPerRank = 1
+		}
+	}
+	rt := &Runtime{cfg: cfg, eng: des.New(), profile: map[string]*TTStat{}}
+	rt.fcond = sync.NewCond(&rt.fmu)
+	rt.procs = make([]*Proc, cfg.Ranks)
+	for r := range rt.procs {
+		rt.procs[r] = &Proc{
+			rt: rt, rank: r,
+			ready: sched.NewPriority(), readyDev: sched.NewPriority(),
+			freeWorkers: cfg.WorkersPerRank,
+			freeDevices: cfg.Machine.Accelerators,
+		}
+	}
+	return rt
+}
+
+// Proc returns rank r's process context.
+func (rt *Runtime) Proc(r int) *Proc { return rt.procs[r] }
+
+// Ranks returns the virtual cluster size.
+func (rt *Runtime) Ranks() int { return len(rt.procs) }
+
+// Now returns the current virtual time in seconds.
+func (rt *Runtime) Now() float64 { return rt.eng.Now() }
+
+// LastDrainTime returns the virtual duration of the most recent fence
+// drain — the measured execution time of that phase.
+func (rt *Runtime) LastDrainTime() float64 { return rt.lastDrain }
+
+// TTStat aggregates one template task's virtual execution profile.
+type TTStat struct {
+	// Tasks is the number of instances executed.
+	Tasks int64
+	// Busy is the summed virtual compute time (including per-task
+	// overhead and copy charges) in seconds.
+	Busy float64
+}
+
+// Profile returns per-template-task execution statistics accumulated over
+// all drains; the map is keyed by TT name. Useful for identifying which
+// kernel dominates a configuration.
+func (rt *Runtime) Profile() map[string]TTStat {
+	out := make(map[string]TTStat, len(rt.profile))
+	for k, v := range rt.profile {
+		out[k] = *v
+	}
+	return out
+}
+
+func (rt *Runtime) recordProfile(name string, busy float64) {
+	st := rt.statFor(name)
+	st.Tasks++
+	st.Busy += busy
+}
+
+// recordExtra adds copy-time to a TT's busy total without counting a task.
+func (rt *Runtime) recordExtra(name string, busy float64) {
+	rt.statFor(name).Busy += busy
+}
+
+func (rt *Runtime) statFor(name string) *TTStat {
+	st := rt.profile[name]
+	if st == nil {
+		st = &TTStat{}
+		rt.profile[name] = st
+	}
+	return st
+}
+
+// Run executes main once per rank, concurrently; mains build graphs, seed,
+// and Fence (possibly repeatedly). The last rank to arrive at each fence
+// drains the event queue in virtual time.
+func (rt *Runtime) Run(main func(p *Proc)) {
+	var wg sync.WaitGroup
+	for _, p := range rt.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			main(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// lock serializes executor calls during the seeding phase; during a drain
+// the single drainer goroutine owns everything, so locking is skipped.
+func (rt *Runtime) lock() func() {
+	if rt.inDrain.Load() {
+		return func() {}
+	}
+	rt.mu.Lock()
+	return rt.mu.Unlock
+}
+
+func (rt *Runtime) cost(t *core.Task) float64 {
+	if rt.cfg.Cost == nil {
+		return 0
+	}
+	return rt.cfg.Cost(t)
+}
+
+// Proc is one virtual rank; it implements core.Executor.
+type Proc struct {
+	rt          *Runtime
+	rank        int
+	ready       *sched.Priority
+	readyDev    *sched.Priority
+	freeWorkers int
+	freeDevices int
+	nicFreeAt   float64 // outgoing link reservation
+	recvFreeAt  float64 // communication-thread reservation
+	tr          trace.Collector
+	graph       *core.Graph
+}
+
+// Rank implements core.Executor.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size implements core.Executor.
+func (p *Proc) Size() int { return len(p.rt.procs) }
+
+// Tracer implements core.Executor.
+func (p *Proc) Tracer() *trace.Collector { return &p.tr }
+
+// TracksData implements core.Executor.
+func (p *Proc) TracksData() bool { return p.rt.cfg.Flavor.TracksData }
+
+// SupportsSplitMD implements core.Executor.
+func (p *Proc) SupportsSplitMD() bool { return p.rt.cfg.Flavor.SplitMD }
+
+// Activate implements core.Executor (quiescence in virtual time is an
+// empty event queue, so activity tracking is unnecessary).
+func (p *Proc) Activate() {}
+
+// Deactivate implements core.Executor.
+func (p *Proc) Deactivate() {}
+
+// Bind attaches the rank's sealed graph.
+func (p *Proc) Bind(g *core.Graph) {
+	if !g.Sealed() {
+		panic("sim: Bind before Seal")
+	}
+	p.graph = g
+}
+
+// NewGraph builds a graph on this executor.
+func (p *Proc) NewGraph() *core.Graph { return core.NewGraph(p) }
+
+// Submit implements core.Executor: the task enters the rank's ready queue
+// and dispatches onto a free virtual worker.
+func (p *Proc) Submit(t *core.Task) {
+	if buf := p.rt.effectBuf; buf != nil {
+		*buf = append(*buf, func() { p.enqueue(t) })
+		return
+	}
+	unlock := p.rt.lock()
+	defer unlock()
+	p.enqueue(t)
+}
+
+func (p *Proc) enqueue(t *core.Task) {
+	if dc := p.rt.cfg.DeviceCost; dc != nil && p.rt.cfg.Machine.Accelerators > 0 {
+		if _, offload := dc(t); offload {
+			p.readyDev.Push(sched.Item{Priority: t.Priority, Value: t})
+			p.dispatchDevices()
+			return
+		}
+	}
+	p.ready.Push(sched.Item{Priority: t.Priority, Value: t})
+	p.dispatch()
+}
+
+// dispatchDevices starts offloaded tasks on free accelerators.
+func (p *Proc) dispatchDevices() {
+	fl := p.rt.cfg.Flavor
+	for p.freeDevices > 0 {
+		it, ok := p.readyDev.Pop()
+		if !ok {
+			return
+		}
+		p.freeDevices--
+		t := it.Value.(*core.Task)
+		d, _ := p.rt.cfg.DeviceCost(t)
+		d += fl.TaskOverhead
+		p.rt.recordProfile(t.TT.Name()+"@dev", d)
+		p.rt.recordSpan(t.TT.Name(), p.rank, p.rt.eng.Now(), d, true)
+		p.rt.eng.At(d, func() { p.completeDevice(t) })
+	}
+}
+
+func (p *Proc) completeDevice(t *core.Task) {
+	rt := p.rt
+	rt.curExtra = 0
+	var buf []func()
+	rt.effectBuf = &buf
+	t.Execute(0)
+	rt.effectBuf = nil
+	extra := rt.curExtra
+	rt.curExtra = 0
+	if extra > 0 {
+		rt.recordExtra(t.TT.Name()+"@dev", extra)
+	}
+	finish := func() {
+		for _, fn := range buf {
+			fn()
+		}
+		p.freeDevices++
+		p.dispatchDevices()
+	}
+	if extra > 0 {
+		rt.eng.At(extra, finish)
+		return
+	}
+	finish()
+}
+
+// dispatch starts ready tasks on free workers. Virtual-clock invariant:
+// callers hold the run context (lock or drain).
+func (p *Proc) dispatch() {
+	fl := p.rt.cfg.Flavor
+	for p.freeWorkers > 0 {
+		it, ok := p.ready.Pop()
+		if !ok {
+			return
+		}
+		p.freeWorkers--
+		t := it.Value.(*core.Task)
+		d := p.rt.cost(t) + fl.TaskOverhead
+		p.rt.recordProfile(t.TT.Name(), d)
+		p.rt.recordSpan(t.TT.Name(), p.rank, p.rt.eng.Now(), d, false)
+		p.rt.eng.At(d, func() { p.complete(t) })
+	}
+}
+
+// complete runs the task body at its virtual completion time. Copy
+// charges accrued by the body (deep copies of phantom payloads) extend
+// the worker's busy period AND delay the task's outward effects — the
+// submits and sends it performed — so downstream consumers feel the
+// memcpy time, as they would in a real run.
+func (p *Proc) complete(t *core.Task) {
+	rt := p.rt
+	rt.curExtra = 0
+	var buf []func()
+	rt.effectBuf = &buf
+	t.Execute(0)
+	rt.effectBuf = nil
+	extra := rt.curExtra
+	rt.curExtra = 0
+	if extra > 0 {
+		rt.recordExtra(t.TT.Name(), extra)
+	}
+	finish := func() {
+		for _, fn := range buf {
+			fn()
+		}
+		p.freeWorkers++
+		p.dispatch()
+	}
+	if extra > 0 {
+		rt.eng.At(extra, finish)
+		return
+	}
+	finish()
+}
+
+// valueBytes estimates the wire size of a delivery.
+func valueBytes(d core.Delivery) int {
+	n := core.HeaderWireSize(d)
+	if d.Control == core.CtrlNone && d.Value != nil {
+		n += serde.WireSizeAny(d.Value)
+	}
+	return n
+}
+
+// Deliver implements core.Executor: schedule the message through the
+// virtual fabric. The value object itself is handed to the destination
+// graph (phantom-payload contract); only the time is simulated.
+func (p *Proc) Deliver(dest int, d core.Delivery) {
+	if buf := p.rt.effectBuf; buf != nil {
+		*buf = append(*buf, func() { p.deliver(dest, d) })
+		return
+	}
+	unlock := p.rt.lock()
+	defer unlock()
+	p.deliver(dest, d)
+}
+
+func (p *Proc) deliver(dest int, d core.Delivery) {
+	m := p.rt.cfg.Machine
+	fl := p.rt.cfg.Flavor
+	bw := fl.LinkBandwidth(m)
+	q := p.rt.procs[dest]
+	eng := p.rt.eng
+	now := eng.Now()
+	p.tr.MsgsSent.Add(1)
+
+	useSplit := false
+	var payload int
+	if d.Control == core.CtrlNone && fl.SplitMD {
+		if smd, ok := d.Value.(serde.SplitMD); ok {
+			if _, has := serde.SplitMDFor(d.Value); has && smd.PayloadBytes() >= fl.EagerThreshold {
+				useSplit = true
+				payload = smd.PayloadBytes()
+			}
+		}
+	}
+
+	if useSplit {
+		// Phase 1: eager metadata. Phase 2: RMA get of the payload,
+		// overlapping other traffic, no serialization copies.
+		meta := core.HeaderWireSize(d) + 64
+		p.tr.BytesSent.Add(int64(meta + payload))
+		p.tr.SplitMDTransfers.Add(1)
+		depart := maxf(now, p.nicFreeAt)
+		p.nicFreeAt = depart + float64(meta)/bw
+		metaArrive := p.nicFreeAt + m.Latency
+		eng.At(metaArrive-now, func() {
+			procStart := maxf(eng.Now(), q.recvFreeAt)
+			procEnd := procStart + fl.MsgOverhead
+			q.recvFreeAt = procEnd
+			// RMA get: source link busy for the payload; one extra
+			// round-trip of latency; payload lands directly in place.
+			start := maxf(procEnd, p.nicFreeAt)
+			p.nicFreeAt = start + float64(payload)/bw
+			done := p.nicFreeAt + 2*m.Latency
+			eng.At(done-eng.Now(), func() { q.inject(d) })
+		})
+		return
+	}
+
+	// Eager archive path: serialize (copy), transfer, deserialize (copy).
+	total := valueBytes(d)
+	p.tr.BytesSent.Add(int64(total))
+	if d.Control == core.CtrlNone {
+		p.tr.ArchiveTransfers.Add(1)
+	}
+	depart := maxf(now, p.nicFreeAt)
+	p.nicFreeAt = depart + float64(total)/m.CopyBandwidth + float64(total)/bw
+	arrive := p.nicFreeAt + m.Latency
+	eng.At(arrive-now, func() {
+		procStart := maxf(eng.Now(), q.recvFreeAt)
+		procEnd := procStart + fl.MsgOverhead + float64(total)/m.CopyBandwidth
+		q.recvFreeAt = procEnd
+		eng.At(procEnd-eng.Now(), func() { q.inject(d) })
+	})
+}
+
+// inject lands a delivery on the destination graph, charging any copies
+// the graph makes (multi-key fan-out) to the receiving comm thread.
+func (q *Proc) inject(d core.Delivery) {
+	rt := q.rt
+	rt.curExtra = 0
+	q.tr.MsgsReceived.Add(1)
+	q.graph.Inject(d)
+	if extra := rt.curExtra; extra > 0 {
+		q.recvFreeAt = maxf(q.recvFreeAt, rt.eng.Now()+extra)
+	}
+	rt.curExtra = 0
+}
+
+// Broadcast implements core.Executor. Under a tree flavor the value is
+// forwarded along a binomial tree over the destination ranks; otherwise
+// the root sends point-to-point, serializing on its NIC (the bottleneck
+// the optimized broadcast removes).
+func (p *Proc) Broadcast(dests map[int]core.Delivery) {
+	if buf := p.rt.effectBuf; buf != nil {
+		*buf = append(*buf, func() { p.broadcast(dests) })
+		return
+	}
+	unlock := p.rt.lock()
+	defer unlock()
+	p.broadcast(dests)
+}
+
+func (p *Proc) broadcast(dests map[int]core.Delivery) {
+	fl := p.rt.cfg.Flavor
+	ranks := make([]int, 0, len(dests))
+	for dst := range dests {
+		ranks = append(ranks, dst)
+	}
+	sortInts(ranks) // deterministic event order regardless of map iteration
+	if !fl.TreeBroadcast || len(dests) < 2 {
+		for _, dst := range ranks {
+			p.deliver(dst, dests[dst])
+		}
+		return
+	}
+	// The broadcast packet carries every destination's routing header plus
+	// the value once; size it deterministically over all entries.
+	sample := dests[ranks[0]]
+	total := 0
+	for _, dst := range ranks {
+		total += core.HeaderWireSize(dests[dst]) + 5
+	}
+	if sample.Control == core.CtrlNone && sample.Value != nil {
+		total += serde.WireSizeAny(sample.Value)
+	}
+	order := collective.Order(p.rank, ranks)
+	// Like point-to-point transfers, broadcast hops use the one-sided
+	// path for large splitmd-capable payloads: forwarding then costs
+	// bandwidth and latency but no serialization copies.
+	oneSided := false
+	if sample.Control == core.CtrlNone && fl.SplitMD {
+		if smd, ok := sample.Value.(serde.SplitMD); ok {
+			if _, has := serde.SplitMDFor(sample.Value); has && smd.PayloadBytes() >= fl.EagerThreshold {
+				oneSided = true
+			}
+		}
+	}
+	p.forwardBcast(order, dests, total, oneSided, true)
+}
+
+// forwardBcast sends the broadcast packet to this rank's tree children;
+// each child delivers its own part and forwards further.
+func (p *Proc) forwardBcast(order []int, dests map[int]core.Delivery, total int, oneSided, isRoot bool) {
+	m := p.rt.cfg.Machine
+	fl := p.rt.cfg.Flavor
+	bw := fl.LinkBandwidth(m)
+	eng := p.rt.eng
+	for _, child := range collective.Fanout(order, p.rank) {
+		q := p.rt.procs[child]
+		p.tr.MsgsSent.Add(1)
+		p.tr.BytesSent.Add(int64(total))
+		if !isRoot {
+			p.tr.BcastsForwarded.Add(1)
+		}
+		depart := maxf(eng.Now(), p.nicFreeAt)
+		ser := 0.0
+		if isRoot && !oneSided {
+			ser = float64(total) / m.CopyBandwidth // serialize once at the root
+		}
+		p.nicFreeAt = depart + ser + float64(total)/bw
+		arrive := p.nicFreeAt + m.Latency
+		if oneSided {
+			arrive += m.Latency // the RMA round trip
+		}
+		eng.At(arrive-eng.Now(), func() {
+			procStart := maxf(eng.Now(), q.recvFreeAt)
+			procEnd := procStart + fl.MsgOverhead
+			if !oneSided {
+				procEnd += float64(total) / m.CopyBandwidth
+			}
+			q.recvFreeAt = procEnd
+			eng.At(procEnd-eng.Now(), func() {
+				// Forward first (overlap), then deliver the local part.
+				q.forwardBcast(order, dests, total, oneSided, false)
+				if d, ok := dests[q.rank]; ok {
+					q.inject(d)
+				}
+			})
+		})
+	}
+}
+
+// Fence implements core.Executor: a barrier across rank mains; the last
+// arriver drains the event queue in virtual time and releases everyone.
+func (p *Proc) Fence() {
+	rt := p.rt
+	rt.fmu.Lock()
+	gen := rt.epoch
+	rt.waiting++
+	if rt.waiting == len(rt.procs) {
+		rt.waiting = 0
+		rt.inDrain.Store(true)
+		des.SetChargeHook(func(bytes int) {
+			rt.curExtra += float64(bytes) / rt.cfg.Machine.CopyBandwidth
+		})
+		start := rt.eng.Now()
+		rt.eng.Run()
+		rt.lastDrain = rt.eng.Now() - start
+		des.SetChargeHook(nil)
+		rt.inDrain.Store(false)
+		rt.epoch++
+		rt.fcond.Broadcast()
+		rt.fmu.Unlock()
+		return
+	}
+	for rt.epoch == gen {
+		rt.fcond.Wait()
+	}
+	rt.fmu.Unlock()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

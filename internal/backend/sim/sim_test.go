@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/serde"
+)
+
+func idealMachine() cluster.Machine {
+	return cluster.Machine{
+		Name: "ideal", Workers: 4,
+		KernelRate: 1e9, SmallOpRate: 1e9,
+		Latency: 1e-6, Bandwidth: 10e9, CopyBandwidth: 10e9,
+	}
+}
+
+// buildIndependent builds a bag of n independent tasks of fixed cost.
+func buildIndependent(p *Proc, ranks int) (*core.Graph, *core.Edge) {
+	g := p.NewGraph()
+	in := core.NewEdge("in")
+	g.AddTT(core.TTSpec{
+		Name:   "work",
+		Inputs: []core.InputSpec{{Edge: in}},
+		Keymap: func(k any) int { return k.(serde.Int1)[0] % ranks },
+		Body:   func(ctx *core.TaskContext) {},
+	})
+	g.Seal()
+	return g, in
+}
+
+func runIndependent(ranks, workers, tasks int, taskCost float64) float64 {
+	rt := New(Config{
+		Ranks:          ranks,
+		WorkersPerRank: workers,
+		Machine:        idealMachine(),
+		Flavor:         cluster.Flavor{Name: "bare"},
+		Cost:           func(*core.Task) float64 { return taskCost },
+	})
+	rt.Run(func(p *Proc) {
+		g, in := buildIndependent(p, ranks)
+		p.Bind(g)
+		if p.Rank() == 0 {
+			for k := 0; k < tasks; k++ {
+				g.Seed(in, serde.Int1{k}, 1.0)
+			}
+		}
+		p.Fence()
+	})
+	return rt.LastDrainTime()
+}
+
+// TestVirtualTimeScalesWithWorkers: n independent unit tasks on w workers
+// take ~n/w task-times.
+func TestVirtualTimeScalesWithWorkers(t *testing.T) {
+	const cost = 1e-3
+	t1 := runIndependent(1, 1, 64, cost)
+	t4 := runIndependent(1, 4, 64, cost)
+	if t1 < 64*cost*0.99 {
+		t.Fatalf("1 worker: %v < expected 64ms", t1)
+	}
+	speedup := t1 / t4
+	if speedup < 3.5 || speedup > 4.5 {
+		t.Fatalf("4-worker speedup = %.2f, want ~4", speedup)
+	}
+}
+
+// TestVirtualTimeStrongScalesAcrossRanks: tasks spread over ranks.
+func TestVirtualTimeStrongScalesAcrossRanks(t *testing.T) {
+	const cost = 1e-3
+	t1 := runIndependent(1, 2, 128, cost)
+	t4 := runIndependent(4, 2, 128, cost)
+	speedup := t1 / t4
+	if speedup < 3.0 || speedup > 5.0 {
+		t.Fatalf("4-rank speedup = %.2f, want ~4 (t1=%v t4=%v)", speedup, t1, t4)
+	}
+}
+
+// TestDeterministicVirtualTime: identical runs give identical clocks.
+func TestDeterministicVirtualTime(t *testing.T) {
+	a := runIndependent(4, 3, 100, 1e-4)
+	b := runIndependent(4, 3, 100, 1e-4)
+	if a != b {
+		t.Fatalf("virtual time not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestCommunicationCostVisible: a chain hopping between two ranks pays
+// latency per hop; with higher latency the makespan grows accordingly.
+func TestCommunicationCostVisible(t *testing.T) {
+	run := func(latency float64) float64 {
+		m := idealMachine()
+		m.Latency = latency
+		rt := New(Config{
+			Ranks: 2, WorkersPerRank: 1, Machine: m,
+			Flavor: cluster.Flavor{Name: "bare"},
+		})
+		rt.Run(func(p *Proc) {
+			g := p.NewGraph()
+			e := core.NewEdge("chain")
+			g.AddTT(core.TTSpec{
+				Name:    "hop",
+				Inputs:  []core.InputSpec{{Edge: e}},
+				Outputs: []core.OutputSpec{{Edge: e}},
+				Keymap:  func(k any) int { return k.(serde.Int1)[0] % 2 },
+				Body: func(ctx *core.TaskContext) {
+					k := ctx.Key().(serde.Int1)
+					if k[0] < 100 {
+						ctx.Send(0, serde.Int1{k[0] + 1}, 0.0)
+					}
+				},
+			})
+			g.Seal()
+			p.Bind(g)
+			if p.Rank() == 0 {
+				g.Seed(e, serde.Int1{0}, 0.0)
+			}
+			p.Fence()
+		})
+		return rt.LastDrainTime()
+	}
+	fast := run(1e-6)
+	slow := run(1e-3)
+	// 100 hops of ~1ms latency ≈ 100ms extra.
+	if slow-fast < 0.05 {
+		t.Fatalf("latency not reflected: fast=%v slow=%v", fast, slow)
+	}
+}
+
+// TestBandwidthShapesTransfer: a large payload takes bytes/bw.
+func TestBandwidthShapesTransfer(t *testing.T) {
+	m := idealMachine()
+	m.Bandwidth = 1e9 // 1 GB/s
+	rt := New(Config{
+		Ranks: 2, WorkersPerRank: 1, Machine: m,
+		Flavor: cluster.Flavor{Name: "bare"},
+	})
+	rt.Run(func(p *Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		g.AddTT(core.TTSpec{
+			Name:   "sink",
+			Inputs: []core.InputSpec{{Edge: in}},
+			Keymap: func(any) int { return 1 },
+			Body:   func(ctx *core.TaskContext) {},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			g.Seed(in, serde.Int1{0}, make([]float64, 1<<20)) // 8 MB
+		}
+		p.Fence()
+	})
+	// 8MB at 1GB/s = 8ms wire + 2*0.8ms copy.
+	got := rt.LastDrainTime()
+	if got < 8e-3 || got > 30e-3 {
+		t.Fatalf("8MB transfer at 1GB/s took %v, want ~10ms", got)
+	}
+}
+
+// TestTreeBroadcastBeatsNaive: with many destinations the root NIC
+// serializes naive sends; the tree spreads them.
+func TestTreeBroadcastBeatsNaive(t *testing.T) {
+	run := func(tree bool) float64 {
+		const ranks = 64
+		m := idealMachine()
+		m.Bandwidth = 1e9
+		fl := cluster.Flavor{Name: "x", TreeBroadcast: tree}
+		rt := New(Config{Ranks: ranks, WorkersPerRank: 1, Machine: m, Flavor: fl})
+		rt.Run(func(p *Proc) {
+			g := p.NewGraph()
+			in := core.NewEdge("in")
+			out := core.NewEdge("out")
+			g.AddTT(core.TTSpec{
+				Name:    "src",
+				Inputs:  []core.InputSpec{{Edge: in}},
+				Outputs: []core.OutputSpec{{Edge: out}},
+				Keymap:  func(any) int { return 0 },
+				Body: func(ctx *core.TaskContext) {
+					keys := make([]any, ranks)
+					for r := 0; r < ranks; r++ {
+						keys[r] = serde.Int1{r}
+					}
+					ctx.Broadcast(0, keys, make([]float64, 1<<17)) // 1 MB
+				},
+			})
+			g.AddTT(core.TTSpec{
+				Name:   "dst",
+				Inputs: []core.InputSpec{{Edge: out}},
+				Keymap: func(k any) int { return k.(serde.Int1)[0] },
+				Body:   func(ctx *core.TaskContext) {},
+			})
+			g.Seal()
+			p.Bind(g)
+			if p.Rank() == 0 {
+				g.Seed(in, serde.Int1{0}, 0.0)
+			}
+			p.Fence()
+		})
+		return rt.LastDrainTime()
+	}
+	naive := run(false)
+	tree := run(true)
+	if tree >= naive {
+		t.Fatalf("tree broadcast (%v) not faster than naive (%v)", tree, naive)
+	}
+	// 63 sequential 1MB sends at 1GB/s ≈ 63ms+; tree depth 6 ≈ ~6-12ms.
+	if naive/tree < 2 {
+		t.Fatalf("tree speedup only %.2fx (naive=%v tree=%v)", naive/tree, naive, tree)
+	}
+}
+
+// TestCopyChargeExtendsWork: charged copies consume worker time.
+func TestCopyChargeExtendsWork(t *testing.T) {
+	m := idealMachine()
+	m.CopyBandwidth = 1e9
+	rt := New(Config{Ranks: 1, WorkersPerRank: 1, Machine: m, Flavor: cluster.Flavor{Name: "bare"}})
+	rt.Run(func(p *Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		g.AddTT(core.TTSpec{
+			Name:   "copier",
+			Inputs: []core.InputSpec{{Edge: in}},
+			Body: func(ctx *core.TaskContext) {
+				des.ChargeCopy(10 << 20) // 10 MB "memcpy"
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		g.Seed(in, serde.Int1{0}, 0.0)
+		p.Fence()
+	})
+	if got := rt.LastDrainTime(); got < 10e-3 {
+		t.Fatalf("10MB copy at 1GB/s charged %v, want >= 10ms", got)
+	}
+}
+
+// TestMultipleFenceEpochs drains twice with increasing virtual time.
+func TestMultipleFenceEpochs(t *testing.T) {
+	rt := New(Config{
+		Ranks: 2, WorkersPerRank: 1, Machine: idealMachine(),
+		Flavor: cluster.Flavor{Name: "bare"},
+		Cost:   func(*core.Task) float64 { return 1e-3 },
+	})
+	var drains []float64
+	rt.Run(func(p *Proc) {
+		g, in := buildIndependent(p, 2)
+		p.Bind(g)
+		for epoch := 0; epoch < 2; epoch++ {
+			if p.Rank() == 0 {
+				for k := 0; k < 10; k++ {
+					g.Seed(in, serde.Int1{k + epoch*100}, 1.0)
+				}
+			}
+			p.Fence()
+			if p.Rank() == 0 {
+				drains = append(drains, rt.LastDrainTime())
+			}
+		}
+	})
+	if len(drains) != 2 {
+		t.Fatalf("got %d drains", len(drains))
+	}
+	for i, d := range drains {
+		if math.Abs(d-5e-3) > 2e-3 {
+			t.Fatalf("drain %d = %v, want ~5ms", i, d)
+		}
+	}
+}
+
+// TestSplitMDSkipsSerializationCopies: with splitmd the transfer avoids
+// the two copy passes, so it finishes sooner when copies dominate.
+type simVec struct {
+	n    int
+	data []float64 // nil in phantom mode
+}
+
+func (v *simVec) SplitMetadata() []byte {
+	b := serde.NewBuffer(8)
+	b.PutVarint(int64(v.n))
+	return b.Bytes()
+}
+func (v *simVec) PayloadBytes() int                 { return 8 * v.n }
+func (v *simVec) CopyPayloadFrom(src serde.SplitMD) {}
+
+func init() {
+	serde.Register(serde.FuncCodec[*simVec]{
+		Enc:  func(b *serde.Buffer, v *simVec) { b.PutVarint(int64(v.n)) },
+		Dec:  func(b *serde.Buffer) *simVec { return &simVec{n: int(b.Varint())} },
+		Size: func(v *simVec) int { return 8 + 8*v.n },
+		Copy: func(v *simVec) *simVec {
+			des.ChargeCopy(8 * v.n)
+			return &simVec{n: v.n}
+		},
+	})
+	serde.RegisterSplitMD(&simVec{}, serde.SplitMDTraits{
+		Allocate: func(meta []byte) serde.SplitMD {
+			return &simVec{n: int(serde.FromBytes(meta).Varint())}
+		},
+	})
+}
+
+func TestSplitMDSkipsSerializationCopies(t *testing.T) {
+	run := func(split bool) float64 {
+		m := idealMachine()
+		m.Bandwidth = 20e9
+		m.CopyBandwidth = 1e9 // copies dominate
+		fl := cluster.Flavor{Name: "x", SplitMD: split, EagerThreshold: 1024, TracksData: true}
+		rt := New(Config{Ranks: 2, WorkersPerRank: 1, Machine: m, Flavor: fl})
+		rt.Run(func(p *Proc) {
+			g := p.NewGraph()
+			in := core.NewEdge("in")
+			g.AddTT(core.TTSpec{
+				Name:   "sink",
+				Inputs: []core.InputSpec{{Edge: in}},
+				Keymap: func(any) int { return 1 },
+				Body:   func(ctx *core.TaskContext) {},
+			})
+			g.Seal()
+			p.Bind(g)
+			if p.Rank() == 0 {
+				g.Seed(in, serde.Int1{0}, &simVec{n: 4 << 20}) // 32 MB payload
+			}
+			p.Fence()
+		})
+		return rt.LastDrainTime()
+	}
+	eager := run(false)
+	split := run(true)
+	if split >= eager {
+		t.Fatalf("splitmd (%v) not faster than eager (%v) when copies dominate", split, eager)
+	}
+}

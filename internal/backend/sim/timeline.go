@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline records per-task execution spans of a virtual-time run for
+// visualization. Export with ChromeJSON and load the result into any
+// chrome://tracing / Perfetto viewer: one process row per virtual rank,
+// one thread lane per concurrently busy worker.
+type Timeline struct {
+	spans []Span
+}
+
+// Span is one task execution in virtual time.
+type Span struct {
+	// Name is the template task name ("GEMM", "TRSM@dev", ...).
+	Name string
+	// Rank is the executing virtual node.
+	Rank int
+	// Start and Dur are in virtual seconds.
+	Start, Dur float64
+	// Device marks accelerator execution.
+	Device bool
+}
+
+// EnableTimeline starts span recording; call before Run. Returns the
+// timeline that will be filled. Recording large runs costs memory
+// proportional to the task count.
+func (rt *Runtime) EnableTimeline() *Timeline {
+	rt.timeline = &Timeline{}
+	return rt.timeline
+}
+
+func (rt *Runtime) recordSpan(name string, rank int, start, dur float64, device bool) {
+	if rt.timeline == nil {
+		return
+	}
+	rt.timeline.spans = append(rt.timeline.spans, Span{
+		Name: name, Rank: rank, Start: start, Dur: dur, Device: device,
+	})
+}
+
+// Spans returns the recorded spans in recording order.
+func (tl *Timeline) Spans() []Span { return tl.spans }
+
+// ChromeJSON renders the timeline in the Chrome trace-event format.
+// Lanes (thread ids) are assigned by greedy interval partitioning per
+// rank, so overlapping tasks land on distinct rows; device spans get
+// their own lane block starting at 1000.
+func (tl *Timeline) ChromeJSON() string {
+	type laneKey struct {
+		rank   int
+		device bool
+	}
+	order := make([]int, len(tl.spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return tl.spans[order[a]].Start < tl.spans[order[b]].Start
+	})
+	// Greedy lane assignment: reuse the first lane whose previous span has
+	// ended.
+	laneEnds := map[laneKey][]float64{}
+	lanes := make([]int, len(tl.spans))
+	for _, idx := range order {
+		s := tl.spans[idx]
+		k := laneKey{s.Rank, s.Device}
+		ends := laneEnds[k]
+		lane := -1
+		for l, end := range ends {
+			if end <= s.Start+1e-15 {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(ends)
+			ends = append(ends, 0)
+		}
+		ends[lane] = s.Start + s.Dur
+		laneEnds[k] = ends
+		lanes[idx] = lane
+	}
+	var b strings.Builder
+	b.WriteString("[")
+	for i, s := range tl.spans {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		tid := lanes[i]
+		if s.Device {
+			tid += 1000
+		}
+		fmt.Fprintf(&b, `{"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}`,
+			s.Name, s.Start*1e6, s.Dur*1e6, s.Rank, tid)
+	}
+	b.WriteString("]")
+	return b.String()
+}

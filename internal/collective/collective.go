@@ -1,0 +1,85 @@
+// Package collective plans the optimized broadcast introduced in the paper
+// (§II-A): when a task sends one value to many task IDs spread over many
+// ranks, the value is serialized once and forwarded along a binomial tree
+// over the involved ranks instead of being sent point-to-point to each.
+package collective
+
+import "sort"
+
+// Order returns the deterministic rank ordering used for a broadcast rooted
+// at root over dests: the root first, then the remaining destinations in
+// ascending rank order. Every rank computes the same ordering, so the tree
+// needs no coordination. dests may be in any order and may or may not
+// include root; duplicates are removed.
+func Order(root int, dests []int) []int {
+	uniq := make([]int, 0, len(dests)+1)
+	seen := map[int]bool{root: true}
+	for _, d := range dests {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	sort.Ints(uniq)
+	return append([]int{root}, uniq...)
+}
+
+// Children returns the binomial-tree children of relative rank r in a tree
+// of n participants (relative rank 0 is the root).
+func Children(n, r int) []int {
+	var out []int
+	for m := 1; m < n; m <<= 1 {
+		if r&m != 0 {
+			break // bit m links r to its parent; higher bits belong to ancestors
+		}
+		if c := r | m; c < n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Parent returns the binomial-tree parent of relative rank r (or -1 for the
+// root).
+func Parent(r int) int {
+	if r == 0 {
+		return -1
+	}
+	m := 1
+	for r&m == 0 {
+		m <<= 1
+	}
+	return r &^ m
+}
+
+// Fanout computes, for the participant with absolute rank me, the absolute
+// ranks it must forward the broadcast to, given the ordering produced by
+// Order. It returns nil when me is a leaf or not a participant.
+func Fanout(order []int, me int) []int {
+	rel := -1
+	for i, r := range order {
+		if r == me {
+			rel = i
+			break
+		}
+	}
+	if rel < 0 {
+		return nil
+	}
+	kids := Children(len(order), rel)
+	out := make([]int, len(kids))
+	for i, k := range kids {
+		out[i] = order[k]
+	}
+	return out
+}
+
+// Depth returns the height of the binomial tree over n participants, the
+// number of forwarding steps on the longest path.
+func Depth(n int) int {
+	d := 0
+	for (1 << d) < n {
+		d++
+	}
+	return d
+}

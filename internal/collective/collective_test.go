@@ -1,0 +1,118 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChildrenBinomialShape(t *testing.T) {
+	// Classic binomial tree over 8: 0→{1,2,4}, 2→{3}, 4→{5,6}, 6→{7}.
+	want := map[int][]int{
+		0: {1, 2, 4}, 1: nil, 2: {3}, 3: nil,
+		4: {5, 6}, 5: nil, 6: {7}, 7: nil,
+	}
+	for r, kids := range want {
+		got := Children(8, r)
+		if len(got) != len(kids) {
+			t.Fatalf("Children(8,%d) = %v, want %v", r, got, kids)
+		}
+		for i := range kids {
+			if got[i] != kids[i] {
+				t.Fatalf("Children(8,%d) = %v, want %v", r, got, kids)
+			}
+		}
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		for r := 1; r < n; r++ {
+			p := Parent(r)
+			found := false
+			for _, c := range Children(n, p) {
+				if c == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: %d not among children of its parent %d", n, r, p)
+			}
+		}
+	}
+}
+
+// Every participant is reached exactly once for any tree size.
+func TestTreeCoversAllExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		visited := make([]int, n)
+		var walk func(r int)
+		walk = func(r int) {
+			visited[r]++
+			for _, c := range Children(n, r) {
+				walk(c)
+			}
+		}
+		walk(0)
+		for _, v := range visited {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderDeterministicAndRootFirst(t *testing.T) {
+	o1 := Order(5, []int{9, 2, 5, 7, 2})
+	o2 := Order(5, []int{2, 7, 9})
+	if len(o1) != 4 || o1[0] != 5 {
+		t.Fatalf("order = %v", o1)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("order not deterministic: %v vs %v", o1, o2)
+		}
+	}
+}
+
+func TestFanoutEndToEnd(t *testing.T) {
+	// Simulate the broadcast: root forwards, children forward, count hits.
+	root := 3
+	dests := []int{0, 1, 2, 4, 5, 6, 7}
+	order := Order(root, dests)
+	hits := map[int]int{}
+	var deliver func(rank int)
+	deliver = func(rank int) {
+		hits[rank]++
+		for _, next := range Fanout(order, rank) {
+			deliver(next)
+		}
+	}
+	deliver(root)
+	if len(hits) != 8 {
+		t.Fatalf("reached %d ranks, want 8", len(hits))
+	}
+	for r, h := range hits {
+		if h != 1 {
+			t.Fatalf("rank %d hit %d times", r, h)
+		}
+	}
+	if Fanout(order, 99) != nil {
+		t.Fatal("non-participant should have no fanout")
+	}
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 256: 8}
+	for n, want := range cases {
+		if got := Depth(n); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package core implements the Template Task Graph engine: template tasks
+// with ordered sets of typed input and output terminals connected by edges,
+// message routing, task instantiation, streaming terminals with input
+// reducers, priority and process maps, and copy semantics. It is the
+// untyped engine underneath the public ttg package; execution and
+// communication are delegated to a backend through the Executor interface,
+// exactly as the paper's C++ TTG layers over PaRSEC and MADNESS.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// SendMode selects the data-passing semantics of a send, mirroring the
+// paper's argument-passing conventions (§II-A, Listing 2).
+type SendMode uint8
+
+const (
+	// SendCopy (the default) deep-copies the data for every consumer so
+	// the sender may keep mutating its copy.
+	SendCopy SendMode = iota
+	// SendBorrow passes by const reference: consumers share the sender's
+	// object without copying, when the runtime tracks its lifetime (the
+	// PaRSEC-model backend does; the MADNESS-model backend copies anyway).
+	SendBorrow
+	// SendMove transfers ownership (the std::move convention): the first
+	// local consumer receives the object itself; the sender must not touch
+	// it afterwards.
+	SendMove
+)
+
+// ControlKind distinguishes data deliveries from stream-control deliveries.
+type ControlKind uint8
+
+const (
+	// CtrlNone marks an ordinary data delivery.
+	CtrlNone ControlKind = iota
+	// CtrlFinalize closes a streaming terminal for a key.
+	CtrlFinalize
+	// CtrlSetSize sets the expected stream length for a key.
+	CtrlSetSize
+)
+
+// TermTarget names input-terminal instances (one terminal, several task
+// IDs) on a destination rank.
+type TermTarget struct {
+	TT   int
+	Term int
+	Keys []any
+}
+
+// Delivery is the routing unit exchanged between core and backends: a value
+// (or a stream-control action) destined for one or more terminal instances
+// on a single rank.
+type Delivery struct {
+	Targets []TermTarget
+	Value   any
+	Control ControlKind
+	N       int // CtrlSetSize payload
+	// Mode records the sender's data-passing semantics. Transports that
+	// defer reading the value (splitmd registration) must snapshot it
+	// first under SendCopy, because the sender may keep mutating.
+	Mode SendMode
+}
+
+// Executor is the contract a runtime backend provides to a graph.
+type Executor interface {
+	// Rank and Size identify this process in the virtual cluster.
+	Rank() int
+	Size() int
+	// Submit schedules a ready task; the backend must eventually call
+	// Task.Execute exactly once.
+	Submit(t *Task)
+	// Deliver transmits d to dest (never the local rank).
+	Deliver(dest int, d Delivery)
+	// Broadcast transmits one value to targets on several ranks; backends
+	// may forward along a tree. Every Delivery carries the same Value.
+	Broadcast(dests map[int]Delivery)
+	// TracksData reports whether the backend manages data lifetimes, in
+	// which case SendBorrow can skip copies (PaRSEC-model: true).
+	TracksData() bool
+	// SupportsSplitMD reports availability of the split-metadata protocol.
+	SupportsSplitMD() bool
+	// Fence blocks until global quiescence (collective).
+	Fence()
+	// Activate/Deactivate bracket units of pending local work for
+	// termination detection.
+	Activate()
+	Deactivate()
+	// Tracer returns this rank's statistics collector.
+	Tracer() *trace.Collector
+}
+
+// Edge is a typed conduit from output terminals to input terminals. An
+// edge may feed several input terminals (fan-out) and be fed by several
+// output terminals (fan-in).
+type Edge struct {
+	name      string
+	consumers []consumer
+}
+
+type consumer struct {
+	tt   *TT
+	term int
+}
+
+// NewEdge creates an edge; the name is diagnostic only.
+func NewEdge(name string) *Edge { return &Edge{name: name} }
+
+// Name returns the edge's diagnostic name.
+func (e *Edge) Name() string { return e.name }
+
+// InputSpec describes one input terminal of a template task.
+type InputSpec struct {
+	// Edge feeding this terminal. Required.
+	Edge *Edge
+	// Reducer, when non-nil, makes this a streaming terminal: successive
+	// messages for the same task ID are folded with Reducer (acc is nil on
+	// the first message) instead of each creating a distinct input.
+	Reducer func(acc, v any) any
+	// StreamSize, when non-nil, gives the expected number of stream
+	// messages per task ID; the terminal is satisfied after that many.
+	// When nil the stream must be closed by CtrlSetSize or CtrlFinalize.
+	StreamSize func(key any) int
+}
+
+// OutputSpec describes one output terminal.
+type OutputSpec struct {
+	Edge *Edge
+}
+
+// TTSpec assembles a template task; see Graph.AddTT.
+type TTSpec struct {
+	Name    string
+	Inputs  []InputSpec
+	Outputs []OutputSpec
+	// Body is the task body; it may send to output terminals via the
+	// TaskContext.
+	Body func(ctx *TaskContext)
+	// Keymap maps a task ID to the rank executing it. Defaults to
+	// hash(key) mod size.
+	Keymap func(key any) int
+	// Priomap maps a task ID to a scheduling priority (larger runs
+	// first). Optional.
+	Priomap func(key any) int64
+}
+
+// TT is a template task instance bound to a graph.
+type TT struct {
+	g       *Graph
+	id      int
+	name    string
+	inputs  []InputSpec
+	outputs []OutputSpec
+	body    func(ctx *TaskContext)
+	keymap  func(key any) int
+	priomap func(key any) int64
+
+	mu     sync.Mutex
+	shells map[any]*shell
+}
+
+// shell accumulates the inputs of one task instance until all terminals
+// are satisfied.
+type shell struct {
+	inputs    []any
+	satisfied uint64
+	counts    []int
+	targets   []int // expected stream size per terminal; -1 unknown
+}
+
+// Graph is one rank's instance of the template task graph. Every rank of
+// the virtual cluster builds an identical graph (SPMD), and the DAG of
+// tasks unfolds across ranks as messages flow.
+type Graph struct {
+	exec   Executor
+	tts    []*TT
+	sealed bool
+}
+
+// NewGraph creates an empty graph bound to a backend executor.
+func NewGraph(exec Executor) *Graph { return &Graph{exec: exec} }
+
+// Rank returns the local rank.
+func (g *Graph) Rank() int { return g.exec.Rank() }
+
+// Size returns the number of ranks.
+func (g *Graph) Size() int { return g.exec.Size() }
+
+// Executor exposes the backend (used by the public API and tests).
+func (g *Graph) Executor() Executor { return g.exec }
+
+// AddTT registers a template task. Must be called identically on every
+// rank and before Seal.
+func (g *Graph) AddTT(spec TTSpec) *TT {
+	if g.sealed {
+		panic("core: AddTT after Seal")
+	}
+	if len(spec.Inputs) == 0 {
+		panic(fmt.Sprintf("core: TT %q needs at least one input terminal", spec.Name))
+	}
+	if len(spec.Inputs) > 64 {
+		panic(fmt.Sprintf("core: TT %q has more than 64 input terminals", spec.Name))
+	}
+	if spec.Body == nil {
+		panic(fmt.Sprintf("core: TT %q has no body", spec.Name))
+	}
+	tt := &TT{
+		g:       g,
+		id:      len(g.tts),
+		name:    spec.Name,
+		inputs:  spec.Inputs,
+		outputs: spec.Outputs,
+		body:    spec.Body,
+		keymap:  spec.Keymap,
+		priomap: spec.Priomap,
+		shells:  map[any]*shell{},
+	}
+	if tt.keymap == nil {
+		tt.keymap = func(key any) int { return HashKey(key) % g.exec.Size() }
+	}
+	for term, in := range spec.Inputs {
+		if in.Edge == nil {
+			panic(fmt.Sprintf("core: TT %q input %d has no edge", spec.Name, term))
+		}
+		in.Edge.consumers = append(in.Edge.consumers, consumer{tt: tt, term: term})
+	}
+	g.tts = append(g.tts, tt)
+	return tt
+}
+
+// Seal freezes the graph: it validates the wiring and makes the graph
+// executable. Analogous to make_graph_executable in the C++ TTG.
+func (g *Graph) Seal() {
+	if g.sealed {
+		return
+	}
+	for _, tt := range g.tts {
+		for term, out := range tt.outputs {
+			if out.Edge == nil {
+				panic(fmt.Sprintf("core: TT %q output %d has no edge", tt.name, term))
+			}
+		}
+	}
+	g.sealed = true
+}
+
+// Sealed reports whether Seal has run.
+func (g *Graph) Sealed() bool { return g.sealed }
+
+// TTByID returns a template task by registration index.
+func (g *Graph) TTByID(id int) *TT { return g.tts[id] }
+
+// NumTTs returns the number of registered template tasks.
+func (g *Graph) NumTTs() int { return len(g.tts) }
+
+// Fence blocks until the whole distributed computation has quiesced.
+func (g *Graph) Fence() { g.exec.Fence() }
+
+// ID returns the TT's registration index (stable across ranks).
+func (tt *TT) ID() int { return tt.id }
+
+// Name returns the TT's diagnostic name.
+func (tt *TT) Name() string { return tt.name }
+
+// NumInputs returns the number of input terminals.
+func (tt *TT) NumInputs() int { return len(tt.inputs) }
+
+// NumOutputs returns the number of output terminals.
+func (tt *TT) NumOutputs() int { return len(tt.outputs) }
+
+// Owner returns the rank that executes the task with the given ID.
+func (tt *TT) Owner(key any) int { return tt.keymap(key) }
+
+// Priority returns the scheduling priority for a task ID.
+func (tt *TT) Priority(key any) int64 {
+	if tt.priomap == nil {
+		return 0
+	}
+	return tt.priomap(key)
+}
+
+// PendingShells reports how many partially filled task instances exist
+// (diagnostics; a nonzero value after a fence indicates a hung graph).
+func (tt *TT) PendingShells() int {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return len(tt.shells)
+}
+
+// Task is one ready task instance.
+type Task struct {
+	TT       *TT
+	Key      any
+	Inputs   []any
+	Priority int64
+	// Origin is the worker index that discovered the task, or -1;
+	// stealing backends use it for locality.
+	Origin int
+}
+
+// Execute runs the task body and retires the task's activity unit. The
+// backend must call it exactly once, passing the executing worker's index.
+func (t *Task) Execute(worker int) {
+	g := t.TT.g
+	defer g.exec.Deactivate()
+	ctx := &TaskContext{task: t, worker: worker}
+	t.TT.body(ctx)
+	g.exec.Tracer().TasksExecuted.Add(1)
+}

@@ -1,0 +1,106 @@
+package core
+
+// Edge-addressed send operations. Routing in TTG needs only the edge (its
+// consumer terminals define the destinations); the numbered-terminal
+// methods on TaskContext resolve their terminal's edge and land here. The
+// typed public API addresses edges directly.
+
+// SendEdge emits value for key on edge e.
+func (c *TaskContext) SendEdge(e *Edge, key, value any, mode SendMode) {
+	g := c.task.TT.g
+	g.routeEdges(c.worker, []*Edge{e}, [][]any{{key}}, value, mode)
+}
+
+// BroadcastEdge emits one value for several task IDs on edge e.
+func (c *TaskContext) BroadcastEdge(e *Edge, keys []any, value any, mode SendMode) {
+	g := c.task.TT.g
+	g.routeEdges(c.worker, []*Edge{e}, [][]any{keys}, value, mode)
+}
+
+// BroadcastEdges emits one value to several edges, each with its own task
+// IDs, crossing each network link at most once (Fig. 2c).
+func (c *TaskContext) BroadcastEdges(edges []*Edge, keys [][]any, value any, mode SendMode) {
+	if len(edges) != len(keys) {
+		panic("core: BroadcastEdges edges/keys length mismatch")
+	}
+	g := c.task.TT.g
+	g.routeEdges(c.worker, edges, keys, value, mode)
+}
+
+// FinalizeEdge closes streaming terminals fed by e for the given task ID.
+func (c *TaskContext) FinalizeEdge(e *Edge, key any) {
+	c.task.TT.g.controlEdge(e, c.worker, key, CtrlFinalize, 0)
+}
+
+// SetStreamSizeEdge announces the expected stream length on terminals fed
+// by e for the given task ID.
+func (c *TaskContext) SetStreamSizeEdge(e *Edge, key any, n int) {
+	c.task.TT.g.controlEdge(e, c.worker, key, CtrlSetSize, n)
+}
+
+// routeEdges is the edge-list form of route; see route for the semantics.
+func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, mode SendMode) {
+	type localTarget struct {
+		c   consumer
+		key any
+	}
+	var locals []localTarget
+	remote := map[int][]TermTarget{}
+	me := g.exec.Rank()
+
+	for i, e := range edges {
+		for _, cons := range e.consumers {
+			var perRank map[int][]any
+			for _, k := range keys[i] {
+				dst := cons.tt.keymap(k)
+				if dst == me {
+					locals = append(locals, localTarget{c: cons, key: k})
+					continue
+				}
+				if perRank == nil {
+					perRank = map[int][]any{}
+				}
+				perRank[dst] = append(perRank[dst], k)
+			}
+			for dst, ks := range perRank {
+				remote[dst] = append(remote[dst], TermTarget{TT: cons.tt.id, Term: cons.term, Keys: ks})
+			}
+		}
+	}
+
+	if len(remote) == 1 {
+		for dst, targets := range remote {
+			g.exec.Deliver(dst, Delivery{Targets: targets, Value: value, Mode: mode})
+		}
+	} else if len(remote) > 1 {
+		dests := make(map[int]Delivery, len(remote))
+		for dst, targets := range remote {
+			dests[dst] = Delivery{Targets: targets, Value: value, Mode: mode}
+		}
+		g.exec.Broadcast(dests)
+	}
+
+	tr := g.exec.Tracer()
+	effMode := mode
+	if mode == SendBorrow && !g.exec.TracksData() {
+		effMode = SendCopy
+	}
+	for idx, lt := range locals {
+		var v any
+		switch effMode {
+		case SendCopy:
+			v = serdeClone(value, tr)
+		case SendBorrow:
+			v = value
+			tr.CopiesAvoided.Add(1)
+		case SendMove:
+			if idx == 0 {
+				v = value
+				tr.CopiesAvoided.Add(1)
+			} else {
+				v = serdeClone(value, tr)
+			}
+		}
+		g.deliverLocal(lt.c.tt, lt.c.term, lt.key, v, worker)
+	}
+}

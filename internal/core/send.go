@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/serde"
+	"repro/internal/trace"
+)
+
+// TaskContext is passed to task bodies; it exposes the task's identity and
+// inputs and the send/broadcast operations on its output terminals.
+type TaskContext struct {
+	task   *Task
+	worker int
+}
+
+// Key returns the task ID.
+func (c *TaskContext) Key() any { return c.task.Key }
+
+// Input returns the value received on input terminal i.
+func (c *TaskContext) Input(i int) any { return c.task.Inputs[i] }
+
+// NumInputs returns the task's input arity.
+func (c *TaskContext) NumInputs() int { return len(c.task.Inputs) }
+
+// Rank returns the executing rank.
+func (c *TaskContext) Rank() int { return c.task.TT.g.exec.Rank() }
+
+// Size returns the number of ranks.
+func (c *TaskContext) Size() int { return c.task.TT.g.exec.Size() }
+
+// Worker returns the index of the worker thread running the task.
+func (c *TaskContext) Worker() int { return c.worker }
+
+// Send emits value to output terminal term for task ID key with the default
+// copy semantics (Fig. 2a).
+func (c *TaskContext) Send(term int, key, value any) {
+	c.SendMode(term, key, value, SendCopy)
+}
+
+// SendMode is Send with explicit data-passing semantics.
+func (c *TaskContext) SendMode(term int, key, value any, mode SendMode) {
+	g := c.task.TT.g
+	g.route(c.task.TT, c.worker, []int{term}, [][]any{{key}}, value, mode)
+}
+
+// Broadcast emits one value to a single output terminal for several task
+// IDs (Fig. 2b).
+func (c *TaskContext) Broadcast(term int, keys []any, value any) {
+	c.BroadcastMode(term, keys, value, SendCopy)
+}
+
+// BroadcastMode is Broadcast with explicit semantics.
+func (c *TaskContext) BroadcastMode(term int, keys []any, value any, mode SendMode) {
+	g := c.task.TT.g
+	g.route(c.task.TT, c.worker, []int{term}, [][]any{keys}, value, mode)
+}
+
+// BroadcastMulti emits one value to several output terminals, each with its
+// own set of task IDs (Fig. 2c; the TRSM pattern of Listing 1). The value
+// crosses each network link at most once regardless of how many terminal
+// instances it feeds.
+func (c *TaskContext) BroadcastMulti(terms []int, keys [][]any, value any, mode SendMode) {
+	if len(terms) != len(keys) {
+		panic("core: BroadcastMulti terms/keys length mismatch")
+	}
+	g := c.task.TT.g
+	g.route(c.task.TT, c.worker, terms, keys, value, mode)
+}
+
+// FinalizeStream closes the streaming input terminals reachable through
+// output terminal term for the given task ID; their reducers' current
+// accumulation becomes the input value.
+func (c *TaskContext) FinalizeStream(term int, key any) {
+	g := c.task.TT.g
+	g.routeControl(c.task.TT, c.worker, term, key, CtrlFinalize, 0)
+}
+
+// SetStreamSize announces the expected number of stream messages for the
+// given task ID on the streaming terminals reachable through output
+// terminal term (the set_argstream_size analog).
+func (c *TaskContext) SetStreamSize(term int, key any, n int) {
+	g := c.task.TT.g
+	g.routeControl(c.task.TT, c.worker, term, key, CtrlSetSize, n)
+}
+
+// Seed injects a value into an edge from outside any task (the initial
+// data injection a rank main performs before fencing). Routing follows the
+// consumers' keymaps, so seeding from one rank reaches tasks anywhere.
+func (g *Graph) Seed(e *Edge, key, value any) {
+	if !g.sealed {
+		panic("core: Seed before Seal")
+	}
+	g.exec.Activate()
+	defer g.exec.Deactivate()
+	g.routeEdge(e, -1, [][]any{{key}}, value)
+}
+
+// SeedBroadcast injects one value for several task IDs.
+func (g *Graph) SeedBroadcast(e *Edge, keys []any, value any) {
+	if !g.sealed {
+		panic("core: Seed before Seal")
+	}
+	g.exec.Activate()
+	defer g.exec.Deactivate()
+	g.routeEdge(e, -1, [][]any{keys}, value)
+}
+
+// FinalizeSeed closes streaming terminals on e for key from outside tasks.
+func (g *Graph) FinalizeSeed(e *Edge, key any) {
+	g.exec.Activate()
+	defer g.exec.Deactivate()
+	g.controlEdge(e, -1, key, CtrlFinalize, 0)
+}
+
+// SetStreamSizeSeed announces a stream length on e for key from outside
+// tasks.
+func (g *Graph) SetStreamSizeSeed(e *Edge, key any, n int) {
+	g.exec.Activate()
+	defer g.exec.Deactivate()
+	g.controlEdge(e, -1, key, CtrlSetSize, n)
+}
+
+// route resolves output terminals to their edges and delegates to
+// routeEdges, which implements the fan-out and copy semantics.
+func (g *Graph) route(tt *TT, worker int, terms []int, keys [][]any, value any, mode SendMode) {
+	edges := make([]*Edge, len(terms))
+	for i, term := range terms {
+		if term < 0 || term >= len(tt.outputs) {
+			panic(fmt.Sprintf("core: TT %q has no output terminal %d", tt.name, term))
+		}
+		edges[i] = tt.outputs[term].Edge
+	}
+	g.routeEdges(worker, edges, keys, value, mode)
+}
+
+// routeEdge routes directly from an edge (seed path; always copies).
+func (g *Graph) routeEdge(e *Edge, worker int, keys [][]any, value any) {
+	g.routeEdges(worker, []*Edge{e}, keys, value, SendCopy)
+}
+
+// serdeClone deep-copies a value and counts the copy.
+func serdeClone(v any, tr *trace.Collector) any {
+	tr.DataCopies.Add(1)
+	return serde.CloneAny(v)
+}
+
+// routeControl routes a stream-control action through an output terminal.
+func (g *Graph) routeControl(tt *TT, worker int, term int, key any, ctrl ControlKind, n int) {
+	if term < 0 || term >= len(tt.outputs) {
+		panic(fmt.Sprintf("core: TT %q has no output terminal %d", tt.name, term))
+	}
+	g.controlEdge(tt.outputs[term].Edge, worker, key, ctrl, n)
+}
+
+func (g *Graph) controlEdge(e *Edge, worker int, key any, ctrl ControlKind, n int) {
+	me := g.exec.Rank()
+	for _, cons := range e.consumers {
+		dst := cons.tt.keymap(key)
+		if dst == me {
+			g.applyControl(cons.tt, cons.term, key, ctrl, n, worker)
+			continue
+		}
+		g.exec.Deliver(dst, Delivery{
+			Targets: []TermTarget{{TT: cons.tt.id, Term: cons.term, Keys: []any{key}}},
+			Control: ctrl,
+			N:       n,
+		})
+	}
+}
+
+// Inject applies a delivery that arrived from the network; backends call it
+// from their communication threads. The delivered value is freshly owned.
+func (g *Graph) Inject(d Delivery) {
+	for _, tgt := range d.Targets {
+		tt := g.tts[tgt.TT]
+		for i, key := range tgt.Keys {
+			if d.Control != CtrlNone {
+				g.applyControl(tt, tgt.Term, key, d.Control, d.N, -1)
+				continue
+			}
+			v := d.Value
+			if i > 0 {
+				// The same deserialized object satisfies several local task
+				// IDs: later ones need their own copy only if reducers will
+				// not immediately fold it. Cloning is the safe default.
+				v = serde.CloneAny(d.Value)
+				g.exec.Tracer().DataCopies.Add(1)
+			}
+			g.deliverLocal(tt, tgt.Term, key, v, -1)
+		}
+	}
+}
+
+// deliverLocal lands a value on one terminal instance and submits the task
+// if it became ready.
+func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) {
+	spec := &tt.inputs[term]
+	tt.mu.Lock()
+	sh := tt.getShellLocked(key)
+	if spec.Reducer == nil {
+		if sh.satisfied&(1<<uint(term)) != 0 {
+			tt.mu.Unlock()
+			panic(fmt.Sprintf("core: TT %q key %v terminal %d received a second message (non-streaming)", tt.name, key, term))
+		}
+		sh.inputs[term] = value
+		sh.satisfied |= 1 << uint(term)
+	} else {
+		sh.inputs[term] = spec.Reducer(sh.inputs[term], value)
+		sh.counts[term]++
+		if sh.targets[term] >= 0 && sh.counts[term] >= sh.targets[term] {
+			sh.satisfied |= 1 << uint(term)
+		}
+	}
+	g.maybeReadyLocked(tt, key, sh, worker)
+}
+
+// applyControl handles finalize/set-size for a streaming terminal instance.
+func (g *Graph) applyControl(tt *TT, term int, key any, ctrl ControlKind, n int, worker int) {
+	if tt.inputs[term].Reducer == nil {
+		panic(fmt.Sprintf("core: stream control on non-streaming terminal %d of TT %q", term, tt.name))
+	}
+	tt.mu.Lock()
+	sh := tt.getShellLocked(key)
+	switch ctrl {
+	case CtrlFinalize:
+		sh.satisfied |= 1 << uint(term)
+	case CtrlSetSize:
+		sh.targets[term] = n
+		if sh.counts[term] >= n {
+			sh.satisfied |= 1 << uint(term)
+		}
+	}
+	g.maybeReadyLocked(tt, key, sh, worker)
+}
+
+// getShellLocked finds or creates the accumulation shell for a key.
+// Callers hold tt.mu.
+func (tt *TT) getShellLocked(key any) *shell {
+	sh, ok := tt.shells[key]
+	if !ok {
+		n := len(tt.inputs)
+		sh = &shell{inputs: make([]any, n), counts: make([]int, n), targets: make([]int, n)}
+		for i := range tt.inputs {
+			if tt.inputs[i].Reducer != nil {
+				if f := tt.inputs[i].StreamSize; f != nil {
+					sh.targets[i] = f(key)
+					if sh.targets[i] == 0 {
+						sh.satisfied |= 1 << uint(i)
+					}
+				} else {
+					sh.targets[i] = -1
+				}
+			}
+		}
+		tt.shells[key] = sh
+	}
+	return sh
+}
+
+// maybeReadyLocked checks for completion, and if ready removes the shell
+// and submits the task. It releases tt.mu in all paths.
+func (g *Graph) maybeReadyLocked(tt *TT, key any, sh *shell, worker int) {
+	full := uint64(1)<<uint(len(tt.inputs)) - 1
+	if sh.satisfied != full {
+		tt.mu.Unlock()
+		return
+	}
+	delete(tt.shells, key)
+	tt.mu.Unlock()
+	t := &Task{TT: tt, Key: key, Inputs: sh.inputs, Priority: tt.Priority(key), Origin: worker}
+	g.exec.Activate()
+	g.exec.Submit(t)
+}
+
+// HashKey hashes any registered key type; the default keymap uses it.
+func HashKey(key any) int {
+	b := serde.NewBuffer(16)
+	serde.EncodeAny(b, key)
+	h := fnv.New32a()
+	h.Write(b.Bytes())
+	return int(h.Sum32() & 0x7fffffff)
+}

@@ -1,0 +1,66 @@
+package core
+
+import "repro/internal/serde"
+
+// Wire format of a Delivery header, shared by the backends so that the
+// PaRSEC-model and MADNESS-model transports interoperate with the same
+// graph code. The header carries routing (terminal targets and task IDs)
+// and stream-control information; how the value itself travels (inline
+// archive bytes, or a splitmd metadata+RMA pair) is the backend's choice
+// and is appended after the header.
+
+// EncodeHeader appends d's routing header (everything except the value).
+func EncodeHeader(b *serde.Buffer, d Delivery) {
+	b.PutU8(uint8(d.Control))
+	if d.Control == CtrlSetSize {
+		b.PutVarint(int64(d.N))
+	}
+	b.PutUvarint(uint64(len(d.Targets)))
+	for _, t := range d.Targets {
+		b.PutUvarint(uint64(t.TT))
+		b.PutUvarint(uint64(t.Term))
+		b.PutUvarint(uint64(len(t.Keys)))
+		for _, k := range t.Keys {
+			serde.EncodeAny(b, k)
+		}
+	}
+}
+
+// DecodeHeader reads a routing header written by EncodeHeader; the buffer
+// is left positioned at the value section.
+func DecodeHeader(b *serde.Buffer) Delivery {
+	var d Delivery
+	d.Control = ControlKind(b.U8())
+	if d.Control == CtrlSetSize {
+		d.N = int(b.Varint())
+	}
+	n := int(b.Uvarint())
+	d.Targets = make([]TermTarget, n)
+	for i := range d.Targets {
+		t := &d.Targets[i]
+		t.TT = int(b.Uvarint())
+		t.Term = int(b.Uvarint())
+		nk := int(b.Uvarint())
+		t.Keys = make([]any, nk)
+		for j := range t.Keys {
+			t.Keys[j] = serde.DecodeAny(b)
+		}
+	}
+	return d
+}
+
+// HeaderWireSize estimates the encoded header size (cost models).
+func HeaderWireSize(d Delivery) int {
+	n := 1
+	if d.Control == CtrlSetSize {
+		n += 5
+	}
+	n += 2
+	for _, t := range d.Targets {
+		n += 6
+		for _, k := range t.Keys {
+			n += serde.WireSizeAny(k)
+		}
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package des
+
+import "sync/atomic"
+
+// Cost hook: during virtual-time execution, deep copies of phantom payloads
+// (tiles carrying dimensions but no data) report their would-be byte counts
+// here so the simulator can charge memcpy time to the executing worker.
+// Outside a simulation the hook is nil and charging is a no-op.
+
+type chargeFn func(bytes int)
+
+var hook atomic.Pointer[chargeFn]
+
+// SetChargeHook installs fn as the global copy-charge sink; pass nil to
+// clear. The sim backend installs it for the duration of a drain (which is
+// single-threaded), so the global is uncontended.
+func SetChargeHook(fn func(bytes int)) {
+	if fn == nil {
+		hook.Store(nil)
+		return
+	}
+	f := chargeFn(fn)
+	hook.Store(&f)
+}
+
+// ChargeCopy reports a deep copy of the given size to the active
+// simulation, if any.
+func ChargeCopy(bytes int) {
+	if f := hook.Load(); f != nil {
+		(*f)(bytes)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"repro/internal/apps/cholesky"
+	"repro/internal/backend/sim"
+	"repro/internal/cluster"
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// Hetero is an extension experiment beyond the paper (its §V lists
+// heterogeneous-platform support as future work): POTRF weak scaling on
+// the accelerated Hawk variant, where GEMM/SYRK/TRSM offload to devices
+// and POTRF stays on the host, against the host-only machine.
+func Hetero(scale Scale) Figure {
+	host := cluster.Hawk()
+	gpu := cluster.HawkGPU()
+	const nb = 1024 // larger tiles amortize host-device transfers
+	perNode := 16384
+	nodes := []int{1, 2, 4, 8, 16}
+	if scale == Quick {
+		perNode = 8192
+		nodes = []int{1, 4}
+	}
+	f := Figure{
+		ID:     "Hetero",
+		Title:  "POTRF weak scaling, host-only vs 4 accelerators/node (extension)",
+		XLabel: "nodes", YLabel: "TFlop/s",
+	}
+	run := func(machine cluster.Machine, grid tile.Grid, n int) float64 {
+		rt := sim.New(sim.Config{
+			Ranks:      n,
+			Machine:    machine,
+			Flavor:     cluster.ParsecFlavor(),
+			Cost:       cholesky.CostModel(grid, machine),
+			DeviceCost: cholesky.DeviceCostModel(grid, machine),
+		})
+		rt.Run(func(p *sim.Proc) {
+			g := ttg.NewGraphOn(p)
+			app := cholesky.Build(g, cholesky.Options{Grid: grid, Phantom: true, Priorities: true})
+			g.MakeExecutable()
+			app.Seed()
+			g.Fence()
+		})
+		return rt.Now()
+	}
+	for _, n := range nodes {
+		nd := scaleN(perNode, n, nb)
+		grid := tile.Grid{N: nd, NB: nb}
+		flops := cholesky.Flops(grid.N)
+		tHost := run(host, grid, n)
+		tGPU := run(gpu, grid, n)
+		f.Points = append(f.Points,
+			Point{Series: "host-only", X: float64(n), Value: flops / tHost / 1e12, Time: tHost},
+			Point{Series: "4 devices/node", X: float64(n), Value: flops / tGPU / 1e12, Time: tGPU},
+		)
+	}
+	return f
+}

@@ -1,0 +1,45 @@
+// Package keymap provides the process maps assigning task IDs to ranks:
+// the 2D block-cyclic distribution used by the dense and sparse linear
+// algebra benchmarks and helpers for choosing process grids.
+package keymap
+
+import "repro/internal/serde"
+
+// Grid2D factors ranks into the most square P×Q grid with P*Q == ranks.
+func Grid2D(ranks int) (p, q int) {
+	p = 1
+	for d := 1; d*d <= ranks; d++ {
+		if ranks%d == 0 {
+			p = d
+		}
+	}
+	return p, ranks / p
+}
+
+// BlockCyclic2D maps tile coordinate (i, j) onto a P×Q process grid
+// cyclically, the distribution of ScaLAPACK, DPLASMA, and the paper's TTG
+// benchmarks.
+func BlockCyclic2D(p, q int) func(serde.Int2) int {
+	return func(k serde.Int2) int {
+		return (k[0]%p)*q + k[1]%q
+	}
+}
+
+// BlockCyclic2DFrom3 is BlockCyclic2D over the first two coordinates of a
+// 3-tuple key (tile coordinate plus iteration).
+func BlockCyclic2DFrom3(p, q int) func(serde.Int3) int {
+	return func(k serde.Int3) int {
+		return (k[0]%p)*q + k[1]%q
+	}
+}
+
+// RoundRobin1D maps a 1-tuple key cyclically over ranks.
+func RoundRobin1D(ranks int) func(serde.Int1) int {
+	return func(k serde.Int1) int {
+		r := k[0] % ranks
+		if r < 0 {
+			r += ranks
+		}
+		return r
+	}
+}

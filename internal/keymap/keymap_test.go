@@ -1,0 +1,66 @@
+package keymap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/serde"
+)
+
+func TestGrid2DFactorizations(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 8: {2, 4},
+		16: {4, 4}, 64: {8, 8}, 12: {3, 4}, 7: {1, 7}, 256: {16, 16},
+	}
+	for ranks, want := range cases {
+		p, q := Grid2D(ranks)
+		if p != want[0] || q != want[1] {
+			t.Errorf("Grid2D(%d) = %d×%d, want %d×%d", ranks, p, q, want[0], want[1])
+		}
+		if p*q != ranks {
+			t.Errorf("Grid2D(%d) does not cover all ranks", ranks)
+		}
+	}
+}
+
+func TestBlockCyclicInRangeAndBalanced(t *testing.T) {
+	p, q := 2, 3
+	km := BlockCyclic2D(p, q)
+	counts := make([]int, p*q)
+	const nt = 12
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			r := km(serde.Int2{i, j})
+			if r < 0 || r >= p*q {
+				t.Fatalf("rank %d out of range", r)
+			}
+			counts[r]++
+		}
+	}
+	for r, c := range counts {
+		if c != nt*nt/(p*q) {
+			t.Fatalf("rank %d holds %d tiles, want %d", r, c, nt*nt/(p*q))
+		}
+	}
+}
+
+func TestBlockCyclic3MatchesBlockCyclic2(t *testing.T) {
+	f := func(i, j, k uint8) bool {
+		km2 := BlockCyclic2D(3, 4)
+		km3 := BlockCyclic2DFrom3(3, 4)
+		return km2(serde.Int2{int(i), int(j)}) == km3(serde.Int3{int(i), int(j), int(k)})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinHandlesNegative(t *testing.T) {
+	km := RoundRobin1D(4)
+	if km(serde.Int1{-1}) != 3 {
+		t.Fatalf("negative key mapped to %d", km(serde.Int1{-1}))
+	}
+	if km(serde.Int1{5}) != 1 {
+		t.Fatalf("key 5 mapped to %d", km(serde.Int1{5}))
+	}
+}

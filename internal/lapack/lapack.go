@@ -1,0 +1,204 @@
+// Package lapack implements the dense kernels the applications need, in
+// pure Go: the Cholesky kernel set (POTRF, TRSM, SYRK, GEMM over tiles, as
+// in Fig. 1) and the min-plus kernels A–D of the tiled Floyd-Warshall
+// algorithm (Fig. 7). It substitutes for the MKL of Table I in real
+// (correctness) runs; virtual-time runs charge the flop counts reported by
+// the *Flops helpers against the machine model instead of executing.
+package lapack
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/tile"
+)
+
+// ErrNotPositiveDefinite is returned by Potrf when a pivot is
+// non-positive.
+var ErrNotPositiveDefinite = errors.New("lapack: matrix not positive definite")
+
+// Potrf factors the tile in place as A = L·Lᵀ, storing L in the lower
+// triangle (the strict upper triangle is zeroed). Square tiles only.
+func Potrf(a *tile.Tile) error {
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+		for i := 0; i < j; i++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// Trsm solves X·Lᵀ = B for X in place (B ← B·L⁻ᵀ), the panel update of the
+// tiled Cholesky: tile_mk = tile_mk · potrf(tile_kk)⁻ᵀ.
+func Trsm(l, b *tile.Tile) {
+	n := l.Rows // L is n×n lower triangular; b is m×n
+	m := b.Rows
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := b.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= b.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, s/l.At(j, j))
+		}
+	}
+}
+
+// Syrk updates C ← C − A·Aᵀ on the lower triangle (diagonal tile update).
+func Syrk(c, a *tile.Tile) {
+	n := c.Rows
+	k := a.Cols
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := c.At(i, j)
+			for p := 0; p < k; p++ {
+				s -= a.At(i, p) * a.At(j, p)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// GemmNT updates C ← C − A·Bᵀ (the trailing update of the tiled Cholesky).
+func GemmNT(c, a, b *tile.Tile) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := c.At(i, j)
+			for p := 0; p < k; p++ {
+				s -= a.At(i, p) * b.At(j, p)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+// GemmNN updates C ← C + A·B (the block-sparse multiply-add kernel).
+func GemmNN(c, a, b *tile.Tile) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.At(i, p)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.Add(i, j, av*b.At(p, j))
+			}
+		}
+	}
+}
+
+// Inf is the "no path" distance of the Floyd-Warshall kernels.
+const Inf = math.MaxFloat64 / 4
+
+// FWKernelA is the diagonal (self-dependent) min-plus update: the k loop
+// must be outermost because C serves as A, B, and C at once.
+func FWKernelA(c *tile.Tile) {
+	n := c.Rows
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			cik := c.At(i, k)
+			if cik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := cik + c.At(k, j); d < c.At(i, j) {
+					c.Set(i, j, d)
+				}
+			}
+		}
+	}
+}
+
+// FWKernelB updates a tile in the diagonal tile's row: C ← min(C, D⊗C)
+// where D is the already-relaxed diagonal tile.
+func FWKernelB(c, d *tile.Tile) {
+	n := c.Rows
+	m := c.Cols
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.At(i, k)
+			if dik >= Inf {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if v := dik + c.At(k, j); v < c.At(i, j) {
+					c.Set(i, j, v)
+				}
+			}
+		}
+	}
+}
+
+// FWKernelC updates a tile in the diagonal tile's column: C ← min(C, C⊗D).
+func FWKernelC(c, d *tile.Tile) {
+	n := c.Rows
+	m := c.Cols
+	for k := 0; k < m; k++ {
+		for i := 0; i < n; i++ {
+			cik := c.At(i, k)
+			if cik >= Inf {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if v := cik + d.At(k, j); v < c.At(i, j) {
+					c.Set(i, j, v)
+				}
+			}
+		}
+	}
+}
+
+// FWKernelD is the independent update C ← min(C, A⊗B) with A from the
+// tile's row panel and B from its column panel.
+func FWKernelD(c, a, b *tile.Tile) {
+	m, n, kk := c.Rows, c.Cols, a.Cols
+	for i := 0; i < m; i++ {
+		for k := 0; k < kk; k++ {
+			aik := a.At(i, k)
+			if aik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := aik + b.At(k, j); v < c.At(i, j) {
+					c.Set(i, j, v)
+				}
+			}
+		}
+	}
+}
+
+// Flop counts for the virtual-time cost model.
+
+// PotrfFlops returns the flop count of an n×n Cholesky factorization.
+func PotrfFlops(n int) float64 { f := float64(n); return f * f * f / 3 }
+
+// TrsmFlops returns the flop count of an m×n triangular solve.
+func TrsmFlops(m, n int) float64 { return float64(m) * float64(n) * float64(n) }
+
+// SyrkFlops returns the flop count of an n×n rank-k update.
+func SyrkFlops(n, k int) float64 { return float64(n) * float64(n) * float64(k) }
+
+// GemmFlops returns the flop count of an m×n×k matrix multiply-add.
+func GemmFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }
+
+// MinPlusFlops returns the op count of an m×n×k min-plus tile update.
+func MinPlusFlops(m, n, k int) float64 { return 2 * float64(m) * float64(n) * float64(k) }

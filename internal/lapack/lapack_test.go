@@ -1,0 +1,281 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tile"
+)
+
+// randSPD builds a random symmetric positive-definite tile.
+func randSPD(n int, rng *rand.Rand) *tile.Tile {
+	b := tile.New(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.Float64() - 0.5
+	}
+	a := tile.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func reconstructLLT(l *tile.Tile) *tile.Tile {
+	n := l.Rows
+	c := tile.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= min(i, j); k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestPotrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := randSPD(n, rng)
+		orig := a.Clone()
+		if err := Potrf(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reconstructLLT(a).Equal(orig, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: L·Lᵀ does not reconstruct A", n)
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := tile.New(2, 2)
+	a.Set(0, 0, -1)
+	if err := Potrf(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTrsmSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, m := 8, 5
+	l := randSPD(n, rng)
+	if err := Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	x := tile.New(m, n) // the true solution
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	// b = x · Lᵀ: b[i][j] = Σ_k x[i][k]·(Lᵀ)[k][j] = Σ_{k≤j} x[i][k]·L[j][k]
+	b := tile.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += x.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	Trsm(l, b)
+	if !b.Equal(x, 1e-9) {
+		t.Fatal("Trsm did not recover X from X·Lᵀ")
+	}
+}
+
+func TestSyrkMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 6, 4
+	a := tile.New(n, k)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	c1 := randSPD(n, rng)
+	c2 := c1.Clone()
+	Syrk(c1, a)
+	GemmNT(c2, a, a)
+	// Syrk only updates the lower triangle.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(c1.At(i, j)-c2.At(i, j)) > 1e-10 {
+				t.Fatalf("(%d,%d): syrk %v gemm %v", i, j, c1.At(i, j), c2.At(i, j))
+			}
+		}
+	}
+}
+
+func TestGemmNNKnownProduct(t *testing.T) {
+	a := tile.New(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := tile.New(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := tile.New(2, 2)
+	GemmNN(c, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+// referenceFW runs the scalar Floyd-Warshall on a dense distance matrix.
+func referenceFW(d [][]float64) {
+	n := len(d)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := d[i][k] + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+}
+
+func randDist(n int, rng *rand.Rand) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case rng.Float64() < 0.4:
+				d[i][j] = 1 + rng.Float64()*9
+			default:
+				d[i][j] = Inf
+			}
+		}
+	}
+	return d
+}
+
+// TestTiledFWMatchesReference runs the full single-node tiled algorithm
+// (kernels A, B, C, D in the Fig. 7 order) against the scalar reference.
+func TestTiledFWMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, nb = 24, 6
+	nt := n / nb
+	d := randDist(n, rng)
+	want := make([][]float64, n)
+	for i := range want {
+		want[i] = append([]float64(nil), d[i]...)
+	}
+	referenceFW(want)
+
+	// Tile the matrix.
+	tiles := make([][]*tile.Tile, nt)
+	for bi := range tiles {
+		tiles[bi] = make([]*tile.Tile, nt)
+		for bj := range tiles[bi] {
+			tl := tile.New(nb, nb)
+			for i := 0; i < nb; i++ {
+				for j := 0; j < nb; j++ {
+					tl.Set(i, j, d[bi*nb+i][bj*nb+j])
+				}
+			}
+			tiles[bi][bj] = tl
+		}
+	}
+	for k := 0; k < nt; k++ {
+		FWKernelA(tiles[k][k])
+		for j := 0; j < nt; j++ {
+			if j != k {
+				FWKernelB(tiles[k][j], tiles[k][k])
+			}
+		}
+		for i := 0; i < nt; i++ {
+			if i != k {
+				FWKernelC(tiles[i][k], tiles[k][k])
+			}
+		}
+		for i := 0; i < nt; i++ {
+			for j := 0; j < nt; j++ {
+				if i != k && j != k {
+					FWKernelD(tiles[i][j], tiles[i][k], tiles[k][j])
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := tiles[i/nb][j/nb].At(i%nb, j%nb)
+			if math.Abs(got-want[i][j]) > 1e-9 {
+				t.Fatalf("(%d,%d): tiled %v reference %v", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+// TestFWKernelDProperty: kernel D never increases any entry and computes
+// the exact min-plus product bound.
+func TestFWKernelDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 5
+		a := tile.New(n, n)
+		b := tile.New(n, n)
+		c := tile.New(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64() * 10
+			b.Data[i] = rng.Float64() * 10
+			c.Data[i] = rng.Float64() * 10
+		}
+		before := c.Clone()
+		FWKernelD(c, a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := before.At(i, j)
+				for k := 0; k < n; k++ {
+					if v := a.At(i, k) + b.At(k, j); v < want {
+						want = v
+					}
+				}
+				if c.At(i, j) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if PotrfFlops(10) != 1000.0/3 {
+		t.Errorf("PotrfFlops: %v", PotrfFlops(10))
+	}
+	if GemmFlops(2, 3, 4) != 48 {
+		t.Errorf("GemmFlops: %v", GemmFlops(2, 3, 4))
+	}
+	if TrsmFlops(2, 3) != 18 {
+		t.Errorf("TrsmFlops: %v", TrsmFlops(2, 3))
+	}
+	if SyrkFlops(3, 5) != 45 {
+		t.Errorf("SyrkFlops: %v", SyrkFlops(3, 5))
+	}
+	if MinPlusFlops(2, 2, 2) != 16 {
+		t.Errorf("MinPlusFlops: %v", MinPlusFlops(2, 2, 2))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+// Package ptg implements a small Parameterized Task Graph frontend — the
+// programming model of DPLASMA over PaRSEC ([15] in the paper) that
+// directly inspired TTG — compiled onto the same core engine the TTG API
+// uses. The paper positions PaRSEC as "designed to support many DSLs or
+// APIs ... sharing the same runtime"; this package demonstrates exactly
+// that cohabitation: a second, algebraic frontend over the identical
+// executor, scheduler, and transport stack.
+//
+// A PTG describes an algorithm as task *classes* over integer parameter
+// spaces. Each class has named data *flows*; for every flow the programmer
+// declares, as a function of the task's parameters, which peer task
+// instances receive the flow's data after the kernel runs (the JDF
+// "-> B GEMM(m, n, k)" arrows). The runtime materializes tasks when all
+// their flows have arrived and routes outputs per the declared algebra.
+// Unlike TTG, the dependence structure must be enumerable from the
+// parameters alone — the restriction TTG lifts for data-dependent
+// algorithms (§II of the paper).
+package ptg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/ttg"
+)
+
+// MaxParams bounds a class's parameter arity (task keys are packed into
+// fixed 5-tuples).
+const MaxParams = 5
+
+// Dep names a destination for a flow's data: a peer task instance's flow,
+// or an external output.
+type Dep struct {
+	class  *Class
+	flow   string
+	params []int
+	output bool
+}
+
+// To builds a dependence on flow of class at the given parameters.
+func To(class *Class, flow string, params ...int) Dep {
+	return Dep{class: class, flow: flow, params: params}
+}
+
+// Out routes the flow's data to the graph's output handler for the class.
+func Out() Dep { return Dep{output: true} }
+
+// Task is a running task instance.
+type Task struct {
+	class  *Class
+	params []int
+	data   map[string]any
+}
+
+// Param returns the i-th task parameter.
+func (t *Task) Param(i int) int { return t.params[i] }
+
+// Data returns the value on the named flow.
+func (t *Task) Data(flow string) any { return t.data[flow] }
+
+// SetData replaces the value on the named flow before routing (a kernel
+// writing a flow it also reads leaves it in place; one producing a fresh
+// object stores it here).
+func (t *Task) SetData(flow string, v any) {
+	if _, ok := t.data[flow]; !ok {
+		panic(fmt.Sprintf("ptg: class %q has no flow %q", t.class.name, flow))
+	}
+	t.data[flow] = v
+}
+
+type flow struct {
+	name  string
+	succs func(params []int) []Dep
+}
+
+// Class is one parameterized task class.
+type Class struct {
+	pg     *Graph
+	name   string
+	arity  int
+	body   func(t *Task)
+	keymap func(params []int) int
+	flows  []*flow
+	edges  map[string]ttg.Edge[ttg.Int5, any]
+	tt     ttg.TT
+	out    func(params []int, flow string, v any)
+}
+
+// Graph is a PTG program under construction or execution.
+type Graph struct {
+	g       *ttg.Graph
+	classes []*Class
+	sealed  bool
+}
+
+// New starts a PTG over a TTG graph (any backend).
+func New(g *ttg.Graph) *Graph { return &Graph{g: g} }
+
+// Class declares a task class with the given parameter arity, kernel body,
+// and owner map. Declare flows before Compile.
+func (pg *Graph) Class(name string, arity int, body func(t *Task), keymap func(params []int) int) *Class {
+	if pg.sealed {
+		panic("ptg: Class after Compile")
+	}
+	if arity < 1 || arity > MaxParams {
+		panic(fmt.Sprintf("ptg: class %q arity %d out of range [1,%d]", name, arity, MaxParams))
+	}
+	c := &Class{
+		pg: pg, name: name, arity: arity, body: body, keymap: keymap,
+		edges: map[string]ttg.Edge[ttg.Int5, any]{},
+	}
+	pg.classes = append(pg.classes, c)
+	return c
+}
+
+// Flow declares a named data flow of the class; succs enumerates, from the
+// task's parameters, the destinations its data travels to after the
+// kernel (nil means the data is consumed here).
+func (c *Class) Flow(name string, succs func(params []int) []Dep) *Class {
+	if c.pg.sealed {
+		panic("ptg: Flow after Compile")
+	}
+	for _, f := range c.flows {
+		if f.name == name {
+			panic(fmt.Sprintf("ptg: class %q declares flow %q twice", c.name, name))
+		}
+	}
+	c.flows = append(c.flows, &flow{name: name, succs: succs})
+	c.edges[name] = ttg.NewEdge[ttg.Int5, any](c.name + "." + name)
+	return c
+}
+
+// OnOutput installs the handler receiving data routed with Out(); it runs
+// on the task's executing rank.
+func (c *Class) OnOutput(fn func(params []int, flow string, v any)) *Class {
+	c.out = fn
+	return c
+}
+
+// key packs parameters into the fixed-width task ID.
+func key(params []int) ttg.Int5 {
+	var k ttg.Int5
+	copy(k[:], params)
+	k[MaxParams-1] = len(params) // arity tag keeps distinct spaces distinct
+	return k
+}
+
+func unkey(k ttg.Int5) []int {
+	return k[:k[MaxParams-1]]
+}
+
+// Compile lowers every class onto the core engine. Call once per rank,
+// before MakeExecutable on the underlying graph.
+func (pg *Graph) Compile() {
+	if pg.sealed {
+		panic("ptg: Compile twice")
+	}
+	pg.sealed = true
+	for _, c := range pg.classes {
+		c := c
+		if len(c.flows) == 0 {
+			panic(fmt.Sprintf("ptg: class %q has no flows", c.name))
+		}
+		inputs := make([]core.InputSpec, len(c.flows))
+		for i, f := range c.flows {
+			inputs[i] = core.InputSpec{Edge: c.edges[f.name].Raw()}
+		}
+		km := func(k any) int { return c.keymap(unkey(k.(ttg.Int5))) }
+		c.tt = ttg.TTFromCore(pg.g.Core().AddTT(core.TTSpec{
+			Name:   "ptg." + c.name,
+			Inputs: inputs,
+			Keymap: km,
+			Body: func(ctx *core.TaskContext) {
+				params := unkey(ctx.Key().(ttg.Int5))
+				t := &Task{class: c, params: params, data: map[string]any{}}
+				for i, f := range c.flows {
+					t.data[f.name] = ctx.Input(i)
+				}
+				c.body(t)
+				// Route every flow to its declared successors.
+				for _, f := range c.flows {
+					if f.succs == nil {
+						continue
+					}
+					v := t.data[f.name]
+					for _, dep := range f.succs(params) {
+						if dep.output {
+							if c.out != nil {
+								c.out(params, f.name, v)
+							}
+							continue
+						}
+						e, ok := dep.class.edges[dep.flow]
+						if !ok {
+							panic(fmt.Sprintf("ptg: class %q has no flow %q", dep.class.name, dep.flow))
+						}
+						if len(dep.params) != dep.class.arity {
+							panic(fmt.Sprintf("ptg: dep to %q with %d params, want %d", dep.class.name, len(dep.params), dep.class.arity))
+						}
+						ctx.SendEdge(e.Raw(), key(dep.params), v, core.SendCopy)
+					}
+				}
+			},
+		}))
+	}
+}
+
+// Seed injects initial data into a class flow from outside any task.
+func (pg *Graph) Seed(c *Class, flowName string, params []int, v any) {
+	e, ok := c.edges[flowName]
+	if !ok {
+		panic(fmt.Sprintf("ptg: class %q has no flow %q", c.name, flowName))
+	}
+	ttg.Seed(pg.g, e, key(params), v)
+}
+
+// Owner returns the rank executing the class instance with params.
+func (pg *Graph) Owner(c *Class, params []int) int { return c.keymap(params) }

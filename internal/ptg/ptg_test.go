@@ -1,0 +1,218 @@
+package ptg
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/keymap"
+	"repro/internal/lapack"
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// TestPTGPipeline: a two-class chain with algebraic successors.
+func TestPTGPipeline(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int]float64{}
+	ttg.Run(ttg.Config{Ranks: 2, WorkersPerRank: 1}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		pg := New(g)
+		var double, sink *Class
+		double = pg.Class("double", 1,
+			func(t *Task) { t.SetData("X", t.Data("X").(float64)*2) },
+			func(p []int) int { return p[0] % pc.Size() })
+		sink = pg.Class("sink", 1,
+			func(t *Task) {
+				mu.Lock()
+				got[t.Param(0)] = t.Data("X").(float64)
+				mu.Unlock()
+			},
+			func(p []int) int { return (p[0] + 1) % pc.Size() })
+		double.Flow("X", func(p []int) []Dep { return []Dep{To(sink, "X", p[0])} })
+		sink.Flow("X", nil)
+		pg.Compile()
+		g.MakeExecutable()
+		if pc.Rank() == 0 {
+			for k := 0; k < 8; k++ {
+				pg.Seed(double, "X", []int{k}, float64(k))
+			}
+		}
+		g.Fence()
+	})
+	for k := 0; k < 8; k++ {
+		if got[k] != float64(2*k) {
+			t.Fatalf("key %d = %v", k, got[k])
+		}
+	}
+}
+
+// TestPTGCholesky expresses the DPLASMA dpotrf JDF on the PTG frontend —
+// the same kernels and dataflow as the TTG implementation, through the
+// alternative DSL cohabiting on the same runtime — and verifies the
+// factorization.
+func TestPTGCholesky(t *testing.T) {
+	grid := tile.Grid{N: 48, NB: 12}
+	nt := grid.NT()
+	var mu sync.Mutex
+	results := map[ttg.Int2]*tile.Tile{}
+
+	ttg.Run(ttg.Config{Ranks: 4, WorkersPerRank: 2}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		pg := New(g)
+		p, q := keymap.Grid2D(pc.Size())
+		owner := func(i, j int) int { return keymap.BlockCyclic2D(p, q)(ttg.Int2{i, j}) }
+
+		var potrf, trsm, syrk, gemm *Class
+		collect := func(params []int, _ string, v any) {
+			mu.Lock()
+			results[ttg.Int2{params[0], params[len(params)-1]}] = v.(*tile.Tile)
+			mu.Unlock()
+		}
+
+		potrf = pg.Class("POTRF", 1,
+			func(t *Task) {
+				if err := lapack.Potrf(t.Data("T").(*tile.Tile)); err != nil {
+					panic(err)
+				}
+			},
+			func(p []int) int { return owner(p[0], p[0]) })
+
+		trsm = pg.Class("TRSM", 2,
+			func(t *Task) {
+				lapack.Trsm(t.Data("T").(*tile.Tile), t.Data("C").(*tile.Tile))
+			},
+			func(p []int) int { return owner(p[0], p[1]) })
+
+		syrk = pg.Class("SYRK", 2,
+			func(t *Task) {
+				lapack.Syrk(t.Data("C").(*tile.Tile), t.Data("A").(*tile.Tile))
+			},
+			func(p []int) int { return owner(p[0], p[0]) })
+
+		gemm = pg.Class("GEMM", 3,
+			func(t *Task) {
+				lapack.GemmNT(t.Data("C").(*tile.Tile), t.Data("A").(*tile.Tile), t.Data("B").(*tile.Tile))
+			},
+			func(p []int) int { return owner(p[0], p[1]) })
+
+		// POTRF(k).T -> TRSM(m,k).T for m>k; the diagonal result leaves.
+		potrf.Flow("T", func(p []int) []Dep {
+			k := p[0]
+			deps := []Dep{Out()}
+			for m := k + 1; m < nt; m++ {
+				deps = append(deps, To(trsm, "T", m, k))
+			}
+			return deps
+		}).OnOutput(func(params []int, _ string, v any) {
+			mu.Lock()
+			results[ttg.Int2{params[0], params[0]}] = v.(*tile.Tile)
+			mu.Unlock()
+		})
+
+		trsm.Flow("T", nil) // the diagonal operand is consumed
+		trsm.Flow("C", func(p []int) []Dep {
+			m, k := p[0], p[1]
+			deps := []Dep{Out(), To(syrk, "A", m, k)}
+			for j := k + 1; j < m; j++ {
+				deps = append(deps, To(gemm, "A", m, j, k))
+			}
+			for i := m + 1; i < nt; i++ {
+				deps = append(deps, To(gemm, "B", i, m, k))
+			}
+			return deps
+		})
+		trsm.OnOutput(collect)
+
+		syrk.Flow("A", nil)
+		syrk.Flow("C", func(p []int) []Dep {
+			m, k := p[0], p[1]
+			if k == m-1 {
+				return []Dep{To(potrf, "T", m)}
+			}
+			return []Dep{To(syrk, "C", m, k+1)}
+		})
+
+		gemm.Flow("A", nil)
+		gemm.Flow("B", nil)
+		gemm.Flow("C", func(p []int) []Dep {
+			i, j, k := p[0], p[1], p[2]
+			if k == j-1 {
+				return []Dep{To(trsm, "C", i, j)}
+			}
+			return []Dep{To(gemm, "C", i, j, k+1)}
+		})
+
+		pg.Compile()
+		g.MakeExecutable()
+
+		// Owners seed their tiles (the INITIATOR role).
+		input := func(i, j int) *tile.Tile {
+			rows, cols := grid.Dim(i), grid.Dim(j)
+			tl := tile.New(rows, cols)
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					tl.Set(r, c, cholesky.Element(i*grid.NB+r, j*grid.NB+c))
+				}
+			}
+			return tl
+		}
+		for i := 0; i < nt; i++ {
+			for j := 0; j <= i; j++ {
+				if owner(i, j) != pc.Rank() {
+					continue
+				}
+				switch {
+				case i == 0 && j == 0:
+					pg.Seed(potrf, "T", []int{0}, input(0, 0))
+				case i == j:
+					pg.Seed(syrk, "C", []int{i, 0}, input(i, i))
+				case j == 0:
+					pg.Seed(trsm, "C", []int{i, 0}, input(i, 0))
+				default:
+					pg.Seed(gemm, "C", []int{i, j, 0}, input(i, j))
+				}
+			}
+		}
+		g.Fence()
+	})
+
+	if want := nt * (nt + 1) / 2; len(results) != want {
+		t.Fatalf("gathered %d tiles, want %d", len(results), want)
+	}
+	if maxErr, ok := cholesky.Verify(grid, results); !ok {
+		t.Fatalf("PTG factorization wrong: max error %g", maxErr)
+	}
+}
+
+// TestPTGMisuse pins the frontend's validation panics.
+func TestPTGMisuse(t *testing.T) {
+	expect := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	ttg.Run(ttg.Config{Ranks: 1}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		pg := New(g)
+		expect("arity 0", func() { pg.Class("bad", 0, func(*Task) {}, func([]int) int { return 0 }) })
+		expect("arity > max", func() { pg.Class("bad", 9, func(*Task) {}, func([]int) int { return 0 }) })
+		c := pg.Class("ok", 1, func(*Task) {}, func([]int) int { return 0 })
+		c.Flow("X", nil)
+		expect("duplicate flow", func() { c.Flow("X", nil) })
+		expect("no flows", func() {
+			pg2 := New(pc.NewGraph())
+			pg2.Class("empty", 1, func(*Task) {}, func([]int) int { return 0 })
+			pg2.Compile()
+		})
+		pg.Compile()
+		expect("compile twice", pg.Compile)
+		expect("seed unknown flow", func() { pg.Seed(c, "Y", []int{0}, 1.0) })
+		g.MakeExecutable()
+		g.Fence()
+	})
+}

@@ -1,0 +1,68 @@
+package sched
+
+import "sync"
+
+// Deque is a double-ended work-stealing queue. The owning worker pushes and
+// pops at the bottom (LIFO, for locality); thieves steal from the top
+// (FIFO, taking the oldest — usually largest — work). A mutex keeps the
+// implementation simple and portable; at the task granularities the
+// runtimes schedule (kernels of 10⁵–10⁸ flops) queue synchronization is not
+// the bottleneck.
+type Deque struct {
+	mu    sync.Mutex
+	items []Item
+	head  int // steal end
+}
+
+// NewDeque returns an empty deque.
+func NewDeque() *Deque { return &Deque{} }
+
+// PushBottom adds an item at the owner's end.
+func (d *Deque) PushBottom(it Item) {
+	d.mu.Lock()
+	d.items = append(d.items, it)
+	d.mu.Unlock()
+}
+
+// PopBottom removes the most recently pushed item (owner side).
+func (d *Deque) PopBottom() (Item, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		return Item{}, false
+	}
+	n := len(d.items) - 1
+	it := d.items[n]
+	d.items[n] = Item{}
+	d.items = d.items[:n]
+	d.compact()
+	return it, true
+}
+
+// Steal removes the oldest item (thief side).
+func (d *Deque) Steal() (Item, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		return Item{}, false
+	}
+	it := d.items[d.head]
+	d.items[d.head] = Item{}
+	d.head++
+	d.compact()
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items) - d.head
+}
+
+func (d *Deque) compact() {
+	if d.head > 64 && d.head*2 >= len(d.items) {
+		d.items = append(d.items[:0], d.items[d.head:]...)
+		d.head = 0
+	}
+}

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Policy selects the queueing discipline of a worker pool, mirroring
+// PaRSEC's selectable scheduler modules.
+type Policy int
+
+const (
+	// PolicyFIFO runs tasks in submission order from one shared queue.
+	PolicyFIFO Policy = iota
+	// PolicyLIFO runs the most recently submitted task first.
+	PolicyLIFO
+	// PolicyPriority honors task priorities (priority-map support).
+	PolicyPriority
+	// PolicySteal gives each worker a deque; idle workers steal. Local
+	// submissions stay with the submitting worker for locality.
+	PolicySteal
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyLIFO:
+		return "lifo"
+	case PolicyPriority:
+		return "priority"
+	case PolicySteal:
+		return "steal"
+	}
+	return "unknown"
+}
+
+// Pool is a fixed-size worker pool executing Items via a run callback. The
+// callback receives the executing worker's index so that tasks spawned
+// during execution can be resubmitted locally (SubmitLocal) for locality
+// under PolicySteal.
+type Pool struct {
+	policy  Policy
+	run     func(worker int, it Item)
+	shared  Queue    // used by FIFO/LIFO/Priority policies and as overflow for Steal
+	deques  []*Deque // per-worker, PolicySteal only
+	mu      sync.Mutex
+	cond    *sync.Cond
+	done    bool
+	wg      sync.WaitGroup
+	started bool
+	n       int
+}
+
+// NewPool builds a pool of n workers with the given policy. Call Start to
+// launch the workers.
+func NewPool(n int, policy Policy, run func(worker int, it Item)) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{policy: policy, run: run, n: n}
+	p.cond = sync.NewCond(&p.mu)
+	switch policy {
+	case PolicyFIFO:
+		p.shared = NewFIFO()
+	case PolicyLIFO:
+		p.shared = NewLIFO()
+	case PolicyPriority:
+		p.shared = NewPriority()
+	case PolicySteal:
+		p.shared = NewFIFO()
+		p.deques = make([]*Deque, n)
+		for i := range p.deques {
+			p.deques[i] = NewDeque()
+		}
+	}
+	return p
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return p.n }
+
+// Start launches the worker goroutines. It is idempotent.
+func (p *Pool) Start() {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.mu.Unlock()
+	for i := 0; i < p.n; i++ {
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+}
+
+// Submit enqueues work from outside the pool (e.g. the communication
+// thread or the rank main).
+func (p *Pool) Submit(it Item) {
+	p.shared.Push(it)
+	p.wake()
+}
+
+// SubmitLocal enqueues work from within the run callback of the given
+// worker; under PolicySteal it lands on that worker's own deque.
+func (p *Pool) SubmitLocal(worker int, it Item) {
+	if p.policy == PolicySteal && worker >= 0 && worker < len(p.deques) {
+		p.deques[worker].PushBottom(it)
+	} else {
+		p.shared.Push(it)
+	}
+	p.wake()
+}
+
+// Stop asks workers to exit once and waits for them. Pending work is not
+// drained; callers quiesce (fence) before stopping.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	p.done = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *Pool) wake() {
+	p.mu.Lock()
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+	for {
+		it, ok := p.next(id, rng)
+		if !ok {
+			p.mu.Lock()
+			for {
+				if p.done {
+					p.mu.Unlock()
+					return
+				}
+				// Re-check for work that raced with going idle.
+				if it2, ok2 := p.tryNext(id, rng); ok2 {
+					it, ok = it2, true
+					break
+				}
+				p.cond.Wait()
+			}
+			p.mu.Unlock()
+			if !ok {
+				continue
+			}
+		}
+		p.run(id, it)
+	}
+}
+
+func (p *Pool) next(id int, rng *rand.Rand) (Item, bool) {
+	return p.tryNext(id, rng)
+}
+
+func (p *Pool) tryNext(id int, rng *rand.Rand) (Item, bool) {
+	if p.policy != PolicySteal {
+		return p.shared.Pop()
+	}
+	if it, ok := p.deques[id].PopBottom(); ok {
+		return it, true
+	}
+	if it, ok := p.shared.Pop(); ok {
+		return it, true
+	}
+	// Random victim selection, one sweep over the other workers.
+	if p.n > 1 {
+		start := rng.Intn(p.n)
+		for k := 0; k < p.n; k++ {
+			v := (start + k) % p.n
+			if v == id {
+				continue
+			}
+			if it, ok := p.deques[v].Steal(); ok {
+				return it, true
+			}
+		}
+	}
+	return Item{}, false
+}

@@ -1,0 +1,160 @@
+// Package sched provides the task-queue building blocks used by the runtime
+// backends: a priority queue, per-worker stealing deques, and a worker pool.
+// These mirror the modular scheduler components (MCA modules) of the
+// PaRSEC-model backend and the plain FIFO pool of the MADNESS-model backend.
+package sched
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Item is a schedulable unit with an optional priority; larger priorities
+// run first (the paper's priority maps assign priorities per task ID).
+type Item struct {
+	Priority int64
+	Value    any
+}
+
+// Queue is the interface shared by the scheduler implementations.
+type Queue interface {
+	// Push enqueues an item.
+	Push(it Item)
+	// Pop removes the next item per the queue's policy; ok is false when
+	// the queue is empty.
+	Pop() (Item, bool)
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// FIFO is a mutex-protected first-in-first-out queue (the MADNESS-model
+// pool's task queue).
+type FIFO struct {
+	mu    sync.Mutex
+	items []Item
+	head  int
+}
+
+// NewFIFO returns an empty FIFO queue.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+func (q *FIFO) Push(it Item) {
+	q.mu.Lock()
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+}
+
+func (q *FIFO) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.items) {
+		return Item{}, false
+	}
+	it := q.items[q.head]
+	q.items[q.head] = Item{}
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return it, true
+}
+
+func (q *FIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// LIFO is a mutex-protected stack; executing the most recently discovered
+// task first improves locality in recursive unfoldings.
+type LIFO struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+// NewLIFO returns an empty LIFO queue.
+func NewLIFO() *LIFO { return &LIFO{} }
+
+func (q *LIFO) Push(it Item) {
+	q.mu.Lock()
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+}
+
+func (q *LIFO) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	if n == 0 {
+		return Item{}, false
+	}
+	it := q.items[n-1]
+	q.items[n-1] = Item{}
+	q.items = q.items[:n-1]
+	return it, true
+}
+
+func (q *LIFO) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Priority is a max-heap by priority with FIFO tie-breaking, the queue used
+// when a template task supplies a priority map.
+type Priority struct {
+	mu  sync.Mutex
+	h   prioHeap
+	seq uint64
+}
+
+// NewPriority returns an empty priority queue.
+func NewPriority() *Priority { return &Priority{} }
+
+type prioItem struct {
+	Item
+	seq uint64
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = prioItem{}
+	*h = old[:n-1]
+	return it
+}
+
+func (q *Priority) Push(it Item) {
+	q.mu.Lock()
+	heap.Push(&q.h, prioItem{Item: it, seq: q.seq})
+	q.seq++
+	q.mu.Unlock()
+}
+
+func (q *Priority) Pop() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	return heap.Pop(&q.h).(prioItem).Item, true
+}
+
+func (q *Priority) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}

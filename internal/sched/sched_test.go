@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	for i := 0; i < 100; i++ {
+		q.Push(Item{Value: i})
+	}
+	for i := 0; i < 100; i++ {
+		it, ok := q.Pop()
+		if !ok || it.Value.(int) != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, it.Value, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty FIFO succeeded")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	q := NewLIFO()
+	for i := 0; i < 10; i++ {
+		q.Push(Item{Value: i})
+	}
+	for i := 9; i >= 0; i-- {
+		it, ok := q.Pop()
+		if !ok || it.Value.(int) != i {
+			t.Fatalf("pop: got %v want %d", it.Value, i)
+		}
+	}
+}
+
+func TestPriorityOrderWithTies(t *testing.T) {
+	q := NewPriority()
+	q.Push(Item{Priority: 1, Value: "low"})
+	q.Push(Item{Priority: 5, Value: "hi-a"})
+	q.Push(Item{Priority: 5, Value: "hi-b"})
+	q.Push(Item{Priority: 3, Value: "mid"})
+	want := []string{"hi-a", "hi-b", "mid", "low"}
+	for _, w := range want {
+		it, ok := q.Pop()
+		if !ok || it.Value.(string) != w {
+			t.Fatalf("got %v want %s", it.Value, w)
+		}
+	}
+}
+
+func TestPriorityHeapProperty(t *testing.T) {
+	f := func(prios []int64) bool {
+		q := NewPriority()
+		for _, p := range prios {
+			q.Push(Item{Priority: p})
+		}
+		out := make([]int64, 0, len(prios))
+		for {
+			it, ok := q.Pop()
+			if !ok {
+				break
+			}
+			out = append(out, it.Priority)
+		}
+		if len(out) != len(prios) {
+			return false
+		}
+		return sort.SliceIsSorted(out, func(i, j int) bool { return out[i] > out[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
+	d := NewDeque()
+	for i := 0; i < 4; i++ {
+		d.PushBottom(Item{Value: i})
+	}
+	if it, _ := d.Steal(); it.Value.(int) != 0 {
+		t.Fatalf("steal got %v want 0", it.Value)
+	}
+	if it, _ := d.PopBottom(); it.Value.(int) != 3 {
+		t.Fatalf("pop got %v want 3", it.Value)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d want 2", d.Len())
+	}
+}
+
+func TestDequeConcurrentStealNoLossNoDup(t *testing.T) {
+	d := NewDeque()
+	const n = 10000
+	seen := make([]int32, n)
+	var wg sync.WaitGroup
+	var produced int32
+	wg.Add(1)
+	go func() { // owner: pushes and occasionally pops
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			d.PushBottom(Item{Value: i})
+			atomic.AddInt32(&produced, 1)
+			if i%3 == 0 {
+				if it, ok := d.PopBottom(); ok {
+					atomic.AddInt32(&seen[it.Value.(int)], 1)
+				}
+			}
+		}
+	}()
+	var thieves sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 4; th++ {
+		thieves.Add(1)
+		go func() {
+			defer thieves.Done()
+			for {
+				if it, ok := d.Steal(); ok {
+					atomic.AddInt32(&seen[it.Value.(int)], 1)
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for { // drain remaining
+		it, ok := d.Steal()
+		if !ok {
+			break
+		}
+		atomic.AddInt32(&seen[it.Value.(int)], 1)
+	}
+	close(stop)
+	thieves.Wait()
+	for { // drain anything a thief raced on
+		it, ok := d.Steal()
+		if !ok {
+			break
+		}
+		atomic.AddInt32(&seen[it.Value.(int)], 1)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d seen %d times", i, c)
+		}
+	}
+}
+
+func runPoolTest(t *testing.T, policy Policy, workers, items int) {
+	t.Helper()
+	var count int64
+	var wg sync.WaitGroup
+	wg.Add(items)
+	p := NewPool(workers, policy, func(w int, it Item) {
+		atomic.AddInt64(&count, int64(it.Value.(int)))
+		wg.Done()
+	})
+	p.Start()
+	for i := 0; i < items; i++ {
+		p.Submit(Item{Value: 1, Priority: int64(i)})
+	}
+	wg.Wait()
+	p.Stop()
+	if count != int64(items) {
+		t.Fatalf("executed %d items, want %d", count, items)
+	}
+}
+
+func TestPoolAllPoliciesExecuteEverything(t *testing.T) {
+	for _, pol := range []Policy{PolicyFIFO, PolicyLIFO, PolicyPriority, PolicySteal} {
+		t.Run(pol.String(), func(t *testing.T) {
+			runPoolTest(t, pol, 4, 5000)
+		})
+	}
+}
+
+func TestPoolRecursiveLocalSubmit(t *testing.T) {
+	var count int64
+	var wg sync.WaitGroup
+	const fanout = 3
+	const depth = 6
+	var p *Pool
+	var body func(w int, it Item)
+	body = func(w int, it Item) {
+		defer wg.Done()
+		atomic.AddInt64(&count, 1)
+		d := it.Value.(int)
+		if d < depth {
+			for c := 0; c < fanout; c++ {
+				wg.Add(1)
+				p.SubmitLocal(w, Item{Value: d + 1})
+			}
+		}
+	}
+	p = NewPool(4, PolicySteal, body)
+	p.Start()
+	wg.Add(1)
+	p.Submit(Item{Value: 0})
+	wg.Wait()
+	p.Stop()
+	// total = (fanout^(depth+1) - 1) / (fanout - 1)
+	want := int64(0)
+	pow := int64(1)
+	for i := 0; i <= depth; i++ {
+		want += pow
+		pow *= fanout
+	}
+	if count != want {
+		t.Fatalf("executed %d tasks, want %d", count, want)
+	}
+}
+
+func TestPoolStopIdempotentStartIdempotent(t *testing.T) {
+	p := NewPool(2, PolicyFIFO, func(int, Item) {})
+	p.Start()
+	p.Start()
+	p.Stop()
+}

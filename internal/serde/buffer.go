@@ -1,0 +1,162 @@
+// Package serde implements the serialization framework used by TTG to move
+// task IDs and data values between ranks.
+//
+// The paper (§II-C) describes several serialization mechanisms selected by
+// type traits: trivial (memcpy) for POD types, archive-based serialization
+// (the Boost.Serialization analog, here a compact in-memory archive), and
+// the intrusive two-stage split-metadata (splitmd) protocol in which a small
+// metadata header travels eagerly and the contiguous payload is fetched with
+// remote memory access. This package provides the codec registry, the
+// archive buffer, and the splitmd traits; the transport-level use of splitmd
+// lives in the backends.
+package serde
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is a compact append-only archive used to serialize messages.
+// It is deliberately minimal: unlike general-purpose archives it performs
+// no type versioning or pointer tracking (the paper notes stock archives
+// are "ill-suited for high-performance applications like TTG").
+type Buffer struct {
+	data []byte
+	off  int // read offset
+}
+
+// NewBuffer returns an empty write buffer with the given capacity hint.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{data: make([]byte, 0, capacity)}
+}
+
+// FromBytes wraps an encoded byte slice for reading.
+func FromBytes(b []byte) *Buffer { return &Buffer{data: b} }
+
+// Bytes returns the encoded contents.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Len returns the number of encoded bytes.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Remaining reports how many bytes are left to read.
+func (b *Buffer) Remaining() int { return len(b.data) - b.off }
+
+// Reset clears the buffer for reuse.
+func (b *Buffer) Reset() { b.data = b.data[:0]; b.off = 0 }
+
+func (b *Buffer) PutU8(v uint8) { b.data = append(b.data, v) }
+func (b *Buffer) PutU32(v uint32) {
+	b.data = binary.LittleEndian.AppendUint32(b.data, v)
+}
+func (b *Buffer) PutU64(v uint64) {
+	b.data = binary.LittleEndian.AppendUint64(b.data, v)
+}
+func (b *Buffer) PutVarint(v int64) {
+	b.data = binary.AppendVarint(b.data, v)
+}
+func (b *Buffer) PutUvarint(v uint64) {
+	b.data = binary.AppendUvarint(b.data, v)
+}
+func (b *Buffer) PutBool(v bool) {
+	if v {
+		b.PutU8(1)
+	} else {
+		b.PutU8(0)
+	}
+}
+func (b *Buffer) PutF64(v float64) { b.PutU64(math.Float64bits(v)) }
+
+// PutBytes writes a length-prefixed byte slice.
+func (b *Buffer) PutBytes(p []byte) {
+	b.PutUvarint(uint64(len(p)))
+	b.data = append(b.data, p...)
+}
+
+// PutRaw appends bytes without a length prefix.
+func (b *Buffer) PutRaw(p []byte) { b.data = append(b.data, p...) }
+
+// PutString writes a length-prefixed string.
+func (b *Buffer) PutString(s string) {
+	b.PutUvarint(uint64(len(s)))
+	b.data = append(b.data, s...)
+}
+
+// PutF64s writes a length-prefixed []float64.
+func (b *Buffer) PutF64s(v []float64) {
+	b.PutUvarint(uint64(len(v)))
+	for _, x := range v {
+		b.PutF64(x)
+	}
+}
+
+func (b *Buffer) U8() uint8 {
+	v := b.data[b.off]
+	b.off++
+	return v
+}
+func (b *Buffer) U32() uint32 {
+	v := binary.LittleEndian.Uint32(b.data[b.off:])
+	b.off += 4
+	return v
+}
+func (b *Buffer) U64() uint64 {
+	v := binary.LittleEndian.Uint64(b.data[b.off:])
+	b.off += 8
+	return v
+}
+func (b *Buffer) Varint() int64 {
+	v, n := binary.Varint(b.data[b.off:])
+	if n <= 0 {
+		panic(fmt.Sprintf("serde: corrupt varint at offset %d", b.off))
+	}
+	b.off += n
+	return v
+}
+func (b *Buffer) Uvarint() uint64 {
+	v, n := binary.Uvarint(b.data[b.off:])
+	if n <= 0 {
+		panic(fmt.Sprintf("serde: corrupt uvarint at offset %d", b.off))
+	}
+	b.off += n
+	return v
+}
+func (b *Buffer) Bool() bool { return b.U8() != 0 }
+func (b *Buffer) F64() float64 {
+	return math.Float64frombits(b.U64())
+}
+
+// BytesOut reads a length-prefixed byte slice (copied).
+func (b *Buffer) BytesOut() []byte {
+	n := int(b.Uvarint())
+	out := make([]byte, n)
+	copy(out, b.data[b.off:b.off+n])
+	b.off += n
+	return out
+}
+
+// RawOut reads n bytes without copying (view into the buffer).
+func (b *Buffer) RawOut(n int) []byte {
+	v := b.data[b.off : b.off+n]
+	b.off += n
+	return v
+}
+
+// String reads a length-prefixed string.
+func (b *Buffer) String() string {
+	n := int(b.Uvarint())
+	s := string(b.data[b.off : b.off+n])
+	b.off += n
+	return s
+}
+
+// F64s reads a length-prefixed []float64.
+func (b *Buffer) F64s() []float64 {
+	n := int(b.Uvarint())
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = b.F64()
+	}
+	return out
+}

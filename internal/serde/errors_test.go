@@ -1,0 +1,73 @@
+package serde
+
+import "testing"
+
+type unregisteredType struct{ x int }
+
+func TestUnregisteredTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding an unregistered type did not panic")
+		}
+	}()
+	b := NewBuffer(8)
+	EncodeAny(b, unregisteredType{1})
+}
+
+func TestRegisteredPredicate(t *testing.T) {
+	if Registered(unregisteredType{}) {
+		t.Fatal("unregistered type reported registered")
+	}
+	if !Registered(Int2{}) {
+		t.Fatal("Int2 reported unregistered")
+	}
+}
+
+func TestUnknownWireTagPanics(t *testing.T) {
+	b := NewBuffer(8)
+	b.PutUvarint(999999) // no such tag
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decoding an unknown tag did not panic")
+		}
+	}()
+	DecodeAny(FromBytes(b.Bytes()))
+}
+
+func TestCorruptVarintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupt varint did not panic")
+		}
+	}()
+	// 10 continuation bytes: invalid varint.
+	FromBytes([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}).Varint()
+}
+
+func TestReRegisterKeepsTag(t *testing.T) {
+	tag1 := WireTagOf(Int1{})
+	Register(FuncCodec[Int1]{ // replace with an equivalent codec
+		Enc:   func(b *Buffer, v Int1) { b.PutVarint(int64(v[0])) },
+		Dec:   func(b *Buffer) Int1 { return Int1{int(b.Varint())} },
+		Size:  func(v Int1) int { return varintLen(int64(v[0])) },
+		Proto: ProtoTrivial,
+	})
+	if WireTagOf(Int1{}) != tag1 {
+		t.Fatal("re-registration changed the wire tag")
+	}
+	// Round trip still works.
+	b := NewBuffer(8)
+	EncodeAny(b, Int1{5})
+	if DecodeAny(FromBytes(b.Bytes())) != any(Int1{5}) {
+		t.Fatal("round trip broken after re-registration")
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RegisterType(nil) did not panic")
+		}
+	}()
+	RegisterType(nil, nil)
+}

@@ -1,0 +1,182 @@
+package serde
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Protocol identifies which serialization mechanism a type uses. The
+// preference order mirrors the paper (§II-C): splitmd when the backend
+// supports it, then trivial (memcpy-like), then the archive protocol.
+type Protocol uint8
+
+const (
+	// ProtoArchive serializes the whole object through a compact archive
+	// (the Boost.Serialization analog).
+	ProtoArchive Protocol = iota
+	// ProtoTrivial marks fixed-size POD-like types whose encoding is a
+	// direct byte image.
+	ProtoTrivial
+	// ProtoSplitMD marks types supporting the two-stage split-metadata
+	// protocol (eager metadata + RMA payload).
+	ProtoSplitMD
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoArchive:
+		return "archive"
+	case ProtoTrivial:
+		return "trivial"
+	case ProtoSplitMD:
+		return "splitmd"
+	}
+	return fmt.Sprintf("protocol(%d)", uint8(p))
+}
+
+// Codec serializes values of one concrete Go type. Implementations must be
+// safe for concurrent use.
+type Codec interface {
+	// Encode appends the wire representation of v.
+	Encode(b *Buffer, v any)
+	// Decode reads one value.
+	Decode(b *Buffer) any
+	// WireSize returns the exact or closely-estimated encoded size in
+	// bytes; cost models use it for communication-time estimates.
+	WireSize(v any) int
+	// Clone deep-copies v. Copy-on-send semantics use it for local
+	// consumers.
+	Clone(v any) any
+	// Protocol reports the type's preferred serialization protocol.
+	Protocol() Protocol
+}
+
+type entry struct {
+	tag   uint32
+	typ   reflect.Type
+	codec Codec
+}
+
+var (
+	regMu    sync.RWMutex
+	byType   = map[reflect.Type]*entry{}
+	byTag    = map[uint32]*entry{}
+	nextTag  uint32
+	frozen   bool
+	splitmds = map[reflect.Type]SplitMDTraits{}
+)
+
+// RegisterType installs a codec for the dynamic type of the zero sample.
+// Registration assigns a stable wire tag; since every rank of the virtual
+// cluster shares the process, tags agree across ranks (as symbol-identical
+// binaries do under MPI). Re-registering a type replaces its codec but
+// keeps its tag.
+func RegisterType(sample any, c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	t := reflect.TypeOf(sample)
+	if t == nil {
+		panic("serde: cannot register nil interface")
+	}
+	if e, ok := byType[t]; ok {
+		e.codec = c
+		return
+	}
+	e := &entry{tag: nextTag, typ: t, codec: c}
+	nextTag++
+	byType[t] = e
+	byTag[e.tag] = e
+}
+
+// lookupType returns the registry entry for v's dynamic type.
+func lookupType(v any) *entry {
+	regMu.RLock()
+	e := byType[reflect.TypeOf(v)]
+	regMu.RUnlock()
+	if e == nil {
+		panic(fmt.Sprintf("serde: type %T is not registered", v))
+	}
+	return e
+}
+
+// CodecFor returns the codec registered for v's dynamic type.
+func CodecFor(v any) Codec { return lookupType(v).codec }
+
+// Registered reports whether v's dynamic type has a codec.
+func Registered(v any) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := byType[reflect.TypeOf(v)]
+	return ok
+}
+
+// EncodeAny writes a tagged value: the wire tag followed by the value body.
+func EncodeAny(b *Buffer, v any) {
+	e := lookupType(v)
+	b.PutUvarint(uint64(e.tag))
+	e.codec.Encode(b, v)
+}
+
+// DecodeAny reads a tagged value written by EncodeAny.
+func DecodeAny(b *Buffer) any {
+	tag := uint32(b.Uvarint())
+	regMu.RLock()
+	e := byTag[tag]
+	regMu.RUnlock()
+	if e == nil {
+		panic(fmt.Sprintf("serde: unknown wire tag %d", tag))
+	}
+	return e.codec.Decode(b)
+}
+
+// WireSizeAny returns the encoded size of a tagged value, including the tag.
+func WireSizeAny(v any) int {
+	e := lookupType(v)
+	return uvarintLen(uint64(e.tag)) + e.codec.WireSize(v)
+}
+
+// CloneAny deep-copies v through its codec.
+func CloneAny(v any) any { return lookupType(v).codec.Clone(v) }
+
+// WireTagOf returns the wire tag assigned to v's dynamic type.
+func WireTagOf(v any) uint32 { return lookupType(v).tag }
+
+// ProtocolOf reports which protocol a value would travel with, honoring the
+// paper's preference order: splitmd (if the caller's backend supports it and
+// the type has splitmd traits), then the codec's own protocol.
+func ProtocolOf(v any, backendSupportsSplitMD bool) Protocol {
+	if backendSupportsSplitMD {
+		if _, ok := SplitMDFor(v); ok {
+			return ProtoSplitMD
+		}
+	}
+	return lookupType(v).codec.Protocol()
+}
+
+// RegisteredTypes returns the names of all registered types in tag order;
+// used by diagnostics and tests.
+func RegisteredTypes() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	tags := make([]int, 0, len(byTag))
+	for t := range byTag {
+		tags = append(tags, int(t))
+	}
+	sort.Ints(tags)
+	out := make([]string, 0, len(tags))
+	for _, t := range tags {
+		out = append(out, byTag[uint32(t)].typ.String())
+	}
+	return out
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

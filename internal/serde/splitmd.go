@@ -1,0 +1,70 @@
+package serde
+
+import (
+	"reflect"
+	"sync"
+)
+
+// SplitMD is implemented by types that support the paper's split-metadata
+// protocol (§II-C, Fig. 4): a small metadata record travels eagerly; the
+// object's contiguous payload is fetched in a second phase via remote
+// memory access into memory allocated from the metadata. Because
+// "allocated-but-not-yet-initialized" must be a valid state, the protocol
+// is intrusive: types opt in by implementing this interface and registering
+// an allocator.
+type SplitMD interface {
+	// SplitMetadata returns the fields sufficient to allocate the object
+	// remotely (e.g. tile dimensions). Must be small (eager-protocol sized).
+	SplitMetadata() []byte
+	// PayloadBytes reports the size of the contiguous data segment; the
+	// transport charges this against link bandwidth.
+	PayloadBytes() int
+	// CopyPayloadFrom fills this (freshly allocated) object's contiguous
+	// segment from src, which is guaranteed to be the same concrete type.
+	// This is the RMA get of the protocol's second phase.
+	CopyPayloadFrom(src SplitMD)
+}
+
+// SplitMDTraits describes how to rebuild a value of one type from its
+// metadata.
+type SplitMDTraits struct {
+	// Allocate builds an object in the allocated-but-uninitialized state
+	// from its metadata; the transport then fills SplitPayload().
+	Allocate func(meta []byte) SplitMD
+}
+
+var (
+	splitMu    sync.RWMutex
+	splitReg   = map[reflect.Type]SplitMDTraits{}
+	splitByTag = map[uint32]SplitMDTraits{}
+)
+
+// RegisterSplitMD installs splitmd traits for the dynamic type of sample.
+// The type must already have an ordinary codec registered (the fallback
+// when a backend lacks splitmd support, as with the MADNESS-model backend);
+// the codec's wire tag identifies the type during the metadata phase.
+func RegisterSplitMD(sample SplitMD, tr SplitMDTraits) {
+	tag := WireTagOf(sample)
+	splitMu.Lock()
+	defer splitMu.Unlock()
+	splitReg[reflect.TypeOf(sample)] = tr
+	splitByTag[tag] = tr
+}
+
+// SplitMDByTag resolves splitmd traits from a codec wire tag (receiver side
+// of the metadata phase).
+func SplitMDByTag(tag uint32) (SplitMDTraits, bool) {
+	splitMu.RLock()
+	defer splitMu.RUnlock()
+	tr, ok := splitByTag[tag]
+	return tr, ok
+}
+
+// SplitMDFor returns the splitmd traits for v's dynamic type, if any. This
+// is the runtime analog of the compile-time type-trait test in the paper.
+func SplitMDFor(v any) (SplitMDTraits, bool) {
+	splitMu.RLock()
+	defer splitMu.RUnlock()
+	tr, ok := splitReg[reflect.TypeOf(v)]
+	return tr, ok
+}

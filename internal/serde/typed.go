@@ -1,0 +1,41 @@
+package serde
+
+// FuncCodec builds a Codec from typed functions, the Go analog of writing a
+// serialization trait specialization in the C++ implementation.
+type FuncCodec[T any] struct {
+	Enc   func(*Buffer, T)
+	Dec   func(*Buffer) T
+	Size  func(T) int
+	Copy  func(T) T // nil means value-copy (suitable for POD types)
+	Proto Protocol
+}
+
+// Register installs the typed codec for T.
+func Register[T any](fc FuncCodec[T]) {
+	var zero T
+	RegisterType(zero, funcCodecAdapter[T]{fc})
+}
+
+type funcCodecAdapter[T any] struct{ fc FuncCodec[T] }
+
+func (a funcCodecAdapter[T]) Encode(b *Buffer, v any) { a.fc.Enc(b, v.(T)) }
+func (a funcCodecAdapter[T]) Decode(b *Buffer) any    { return a.fc.Dec(b) }
+func (a funcCodecAdapter[T]) WireSize(v any) int      { return a.fc.Size(v.(T)) }
+func (a funcCodecAdapter[T]) Clone(v any) any {
+	if a.fc.Copy == nil {
+		return v // value semantics: interface already holds a copy
+	}
+	return a.fc.Copy(v.(T))
+}
+func (a funcCodecAdapter[T]) Protocol() Protocol { return a.fc.Proto }
+
+// RegisterTrivial registers a POD-like fixed-layout type given explicit
+// encode/decode of its byte image. Trivial types clone by value.
+func RegisterTrivial[T any](size int, enc func(*Buffer, T), dec func(*Buffer) T) {
+	Register(FuncCodec[T]{
+		Enc:   enc,
+		Dec:   dec,
+		Size:  func(T) int { return size },
+		Proto: ProtoTrivial,
+	})
+}

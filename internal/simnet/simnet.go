@@ -1,0 +1,357 @@
+// Package simnet provides the process-local virtual cluster over which the
+// runtime backends communicate. It stands in for the MPI/UCX fabric of the
+// paper's test systems (Hawk, Seawulf): each rank owns an endpoint with an
+// unbounded in-order inbox, point-to-point links with configurable latency
+// and bandwidth, and a remote-memory-access (RMA) facility used by the
+// split-metadata rendezvous protocol. All payloads really cross the
+// "network" as bytes, so serialization behaves as it would over a wire.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config describes the virtual fabric.
+type Config struct {
+	// Ranks is the number of endpoints (processes).
+	Ranks int
+	// Latency is added to every packet's delivery. Zero means immediate.
+	Latency time.Duration
+	// BandwidthBps throttles each directed link in bytes per second.
+	// Zero means infinite bandwidth.
+	BandwidthBps float64
+}
+
+// Packet is one message on the virtual fabric. Kind is an
+// application-defined dispatch byte; simnet does not interpret it.
+type Packet struct {
+	Src, Dst int
+	Kind     uint8
+	Data     []byte
+}
+
+// Network is a set of endpoints connected pairwise.
+type Network struct {
+	cfg    Config
+	eps    []*Endpoint
+	mu     sync.Mutex
+	links  map[[2]int]*link
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a virtual network with cfg.Ranks endpoints.
+func New(cfg Config) *Network {
+	if cfg.Ranks < 1 {
+		panic("simnet: need at least one rank")
+	}
+	n := &Network{cfg: cfg, links: map[[2]int]*link{}}
+	n.eps = make([]*Endpoint, cfg.Ranks)
+	for i := range n.eps {
+		n.eps[i] = newEndpoint(n, i)
+	}
+	return n
+}
+
+// Ranks returns the number of endpoints.
+func (n *Network) Ranks() int { return len(n.eps) }
+
+// Endpoint returns rank's endpoint.
+func (n *Network) Endpoint(rank int) *Endpoint { return n.eps[rank] }
+
+// Close tears the network down: in-flight packets on delayed links are
+// delivered, then every inbox is closed so receivers can exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.close()
+	}
+	n.wg.Wait()
+	for _, ep := range n.eps {
+		ep.inbox.close()
+	}
+}
+
+func (n *Network) transferTime(bytes int) time.Duration {
+	d := n.cfg.Latency
+	if n.cfg.BandwidthBps > 0 {
+		d += time.Duration(float64(bytes) / n.cfg.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// deliver routes a packet, possibly through a delayed ordered link.
+func (n *Network) deliver(p Packet) {
+	if n.cfg.Latency == 0 && n.cfg.BandwidthBps == 0 {
+		n.eps[p.Dst].inbox.push(p)
+		return
+	}
+	n.link(p.Src, p.Dst).send(p)
+}
+
+func (n *Network) link(src, dst int) *link {
+	key := [2]int{src, dst}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		// Drop traffic during teardown; callers have already quiesced.
+		return &link{dropped: true}
+	}
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n, dst)
+		n.links[key] = l
+		n.wg.Add(1)
+		go l.run()
+	}
+	return l
+}
+
+// link models one directed channel with FIFO ordering: packets serialize on
+// the link, so a large transfer delays subsequent ones (back-pressure).
+type link struct {
+	net     *Network
+	dst     int
+	q       *queue[Packet]
+	dropped bool
+}
+
+func newLink(n *Network, dst int) *link {
+	return &link{net: n, dst: dst, q: newQueue[Packet]()}
+}
+
+func (l *link) send(p Packet) {
+	if l.dropped {
+		return
+	}
+	l.q.push(p)
+}
+
+func (l *link) close() { l.q.close() }
+
+func (l *link) run() {
+	defer l.net.wg.Done()
+	for {
+		p, ok := l.q.pop()
+		if !ok {
+			return
+		}
+		time.Sleep(l.net.transferTime(len(p.Data)))
+		l.net.eps[l.dst].inbox.push(p)
+	}
+}
+
+// Endpoint is one rank's attachment to the network.
+type Endpoint struct {
+	net     *Network
+	rank    int
+	inbox   *queue[Packet]
+	regMu   sync.Mutex
+	regions map[uint64]any
+	nextReg uint64
+}
+
+func newEndpoint(n *Network, rank int) *Endpoint {
+	return &Endpoint{net: n, rank: rank, inbox: newQueue[Packet](), regions: map[uint64]any{}}
+}
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the number of ranks on the fabric.
+func (e *Endpoint) Size() int { return len(e.net.eps) }
+
+// Send transmits data to dst. Data is owned by the network after the call.
+func (e *Endpoint) Send(dst int, kind uint8, data []byte) {
+	if dst < 0 || dst >= len(e.net.eps) {
+		panic(fmt.Sprintf("simnet: send to invalid rank %d", dst))
+	}
+	e.net.deliver(Packet{Src: e.rank, Dst: dst, Kind: kind, Data: data})
+}
+
+// Recv blocks for the next packet; ok is false once the network is closed
+// and the inbox drained.
+func (e *Endpoint) Recv() (Packet, bool) { return e.inbox.pop() }
+
+// TryRecv returns a packet if one is immediately available.
+func (e *Endpoint) TryRecv() (Packet, bool) { return e.inbox.tryPop() }
+
+// RMAHandle names a registered memory region on some rank; it is small and
+// travels inside eager messages (the splitmd metadata phase).
+type RMAHandle struct {
+	Owner int
+	ID    uint64
+}
+
+// Register exposes buf for remote gets and returns its handle.
+func (e *Endpoint) Register(buf []byte) RMAHandle {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	e.nextReg++
+	id := e.nextReg
+	e.regions[id] = buf
+	return RMAHandle{Owner: e.rank, ID: id}
+}
+
+// Deregister releases a region previously registered on this endpoint.
+func (e *Endpoint) Deregister(h RMAHandle) {
+	e.regMu.Lock()
+	delete(e.regions, h.ID)
+	e.regMu.Unlock()
+}
+
+// RegionCount reports how many regions are currently registered; a
+// nonzero value after quiescence indicates a splitmd release leak.
+func (e *Endpoint) RegionCount() int {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	return len(e.regions)
+}
+
+// RMAGet fetches the remote byte region named by h into dst, blocking for
+// the simulated transfer time. It returns the number of bytes copied. This
+// is the one-sided second phase of the splitmd protocol.
+func (e *Endpoint) RMAGet(h RMAHandle, dst []byte) (int, error) {
+	src, err := e.FetchObject(h, 0)
+	if err != nil {
+		return 0, err
+	}
+	bs, ok := src.([]byte)
+	if !ok {
+		return 0, fmt.Errorf("simnet: RMA region %d/%d is not a byte region", h.Owner, h.ID)
+	}
+	n := copy(dst, bs)
+	// One round trip of latency plus the payload transfer time.
+	if d := e.net.transferTime(n) + e.net.cfg.Latency; d > 0 {
+		time.Sleep(d)
+	}
+	return n, nil
+}
+
+// RegisterObject exposes an arbitrary object (e.g. a tile whose contiguous
+// segment the splitmd protocol will copy out) and returns its handle.
+func (e *Endpoint) RegisterObject(v any) RMAHandle {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	e.nextReg++
+	id := e.nextReg
+	e.regions[id] = v
+	return RMAHandle{Owner: e.rank, ID: id}
+}
+
+// FetchObject resolves the remote object named by h, blocking for the
+// simulated transfer time of the given payload size (callers that perform
+// the copy themselves pass the byte count; pass 0 to skip the delay).
+func (e *Endpoint) FetchObject(h RMAHandle, bytes int) (any, error) {
+	owner := e.net.eps[h.Owner]
+	owner.regMu.Lock()
+	src, ok := owner.regions[h.ID]
+	owner.regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: RMA region %d/%d not registered", h.Owner, h.ID)
+	}
+	if bytes > 0 {
+		if d := e.net.transferTime(bytes) + e.net.cfg.Latency; d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return src, nil
+}
+
+// EncodeHandle appends h's wire form; DecodeHandle reads it back.
+func EncodeHandle(buf []byte, h RMAHandle) []byte {
+	buf = append(buf, byte(h.Owner), byte(h.Owner>>8), byte(h.Owner>>16), byte(h.Owner>>24))
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(h.ID>>(8*i)))
+	}
+	return buf
+}
+
+// DecodeHandle reads a handle written by EncodeHandle and returns the rest.
+func DecodeHandle(buf []byte) (RMAHandle, []byte) {
+	h := RMAHandle{}
+	h.Owner = int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	for i := 0; i < 8; i++ {
+		h.ID |= uint64(buf[4+i]) << (8 * i)
+	}
+	return h, buf[12:]
+}
+
+// queue is an unbounded FIFO with blocking pop; unbounded capacity prevents
+// the comm-thread deadlocks a bounded channel mesh would allow.
+type queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+func newQueue[T any]() *queue[T] {
+	q := &queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue[T]) push(v T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *queue[T]) pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return v, true
+}
+
+func (q *queue[T]) tryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	return v, true
+}
+
+func (q *queue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,166 @@
+// Package tile provides the dense matrix tile that flows through the
+// linear-algebra graphs, with serialization (archive and splitmd) and the
+// phantom form used by virtual-time runs: a tile that carries its shape
+// but no data, whose wire size and copy charges still reflect the real
+// payload so the simulator's communication and memcpy costs are faithful.
+package tile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/serde"
+)
+
+// Tile is a dense row-major matrix block.
+type Tile struct {
+	Rows, Cols int
+	// Data is the row-major payload; nil marks a phantom tile.
+	Data []float64
+}
+
+// New allocates a zeroed tile.
+func New(rows, cols int) *Tile {
+	return &Tile{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Phantom builds a shape-only tile for virtual-time runs.
+func Phantom(rows, cols int) *Tile {
+	return &Tile{Rows: rows, Cols: cols}
+}
+
+// IsPhantom reports whether the tile carries no payload.
+func (t *Tile) IsPhantom() bool { return t.Data == nil }
+
+// At returns element (i, j).
+func (t *Tile) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tile) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (t *Tile) Add(i, j int, v float64) { t.Data[i*t.Cols+j] += v }
+
+// PayloadSize returns the payload size in bytes (also for phantoms).
+func (t *Tile) PayloadSize() int { return 8 * t.Rows * t.Cols }
+
+// Clone deep-copies the tile. Phantom clones report the would-be memcpy
+// to the active simulation.
+func (t *Tile) Clone() *Tile {
+	if t.Data == nil {
+		des.ChargeCopy(t.PayloadSize())
+		return &Tile{Rows: t.Rows, Cols: t.Cols}
+	}
+	d := make([]float64, len(t.Data))
+	copy(d, t.Data)
+	return &Tile{Rows: t.Rows, Cols: t.Cols, Data: d}
+}
+
+// Equal reports element-wise equality within eps.
+func (t *Tile) Equal(o *Tile, eps float64) bool {
+	if t.Rows != o.Rows || t.Cols != o.Cols || len(t.Data) != len(o.Data) {
+		return false
+	}
+	for i := range t.Data {
+		if math.Abs(t.Data[i]-o.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns sqrt(Σ aᵢⱼ²).
+func (t *Tile) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func (t *Tile) String() string {
+	if t.IsPhantom() {
+		return fmt.Sprintf("Tile(%dx%d, phantom)", t.Rows, t.Cols)
+	}
+	return fmt.Sprintf("Tile(%dx%d)", t.Rows, t.Cols)
+}
+
+// SplitMetadata implements serde.SplitMD (Fig. 4: the MatrixTile example).
+func (t *Tile) SplitMetadata() []byte {
+	b := serde.NewBuffer(12)
+	b.PutVarint(int64(t.Rows))
+	b.PutVarint(int64(t.Cols))
+	b.PutBool(t.Data != nil)
+	return b.Bytes()
+}
+
+// PayloadBytes implements serde.SplitMD.
+func (t *Tile) PayloadBytes() int { return t.PayloadSize() }
+
+// CopyPayloadFrom implements serde.SplitMD.
+func (t *Tile) CopyPayloadFrom(src serde.SplitMD) {
+	s := src.(*Tile)
+	if t.Data != nil && s.Data != nil {
+		copy(t.Data, s.Data)
+	}
+}
+
+func init() {
+	serde.Register(serde.FuncCodec[*Tile]{
+		Enc: func(b *serde.Buffer, t *Tile) {
+			b.PutVarint(int64(t.Rows))
+			b.PutVarint(int64(t.Cols))
+			b.PutBool(t.Data != nil)
+			if t.Data != nil {
+				for _, v := range t.Data {
+					b.PutF64(v)
+				}
+			}
+		},
+		Dec: func(b *serde.Buffer) *Tile {
+			rows := int(b.Varint())
+			cols := int(b.Varint())
+			t := &Tile{Rows: rows, Cols: cols}
+			if b.Bool() {
+				t.Data = make([]float64, rows*cols)
+				for i := range t.Data {
+					t.Data[i] = b.F64()
+				}
+			}
+			return t
+		},
+		// WireSize reports the modeled payload even for phantoms so
+		// virtual-time communication costs match real transfers.
+		Size: func(t *Tile) int { return 16 + t.PayloadSize() },
+		Copy: func(t *Tile) *Tile { return t.Clone() },
+	})
+	serde.RegisterSplitMD(&Tile{}, serde.SplitMDTraits{
+		Allocate: func(meta []byte) serde.SplitMD {
+			b := serde.FromBytes(meta)
+			rows := int(b.Varint())
+			cols := int(b.Varint())
+			if b.Bool() {
+				return New(rows, cols)
+			}
+			return Phantom(rows, cols)
+		},
+	})
+}
+
+// Grid describes a square matrix of order N tiled with NB×NB blocks (the
+// trailing block may be smaller).
+type Grid struct {
+	N, NB int
+}
+
+// NT returns the number of tile rows/columns.
+func (g Grid) NT() int { return (g.N + g.NB - 1) / g.NB }
+
+// Dim returns the extent of tile row/column i.
+func (g Grid) Dim(i int) int {
+	if (i+1)*g.NB <= g.N {
+		return g.NB
+	}
+	return g.N - i*g.NB
+}

@@ -1,0 +1,90 @@
+package tile
+
+import (
+	"testing"
+
+	"repro/internal/serde"
+)
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 3)
+	a.Set(1, 2, 5)
+	b := a.Clone()
+	b.Set(1, 2, 9)
+	if a.At(1, 2) != 5 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestPhantomCloneKeepsShape(t *testing.T) {
+	p := Phantom(4, 5)
+	c := p.Clone()
+	if !c.IsPhantom() || c.Rows != 4 || c.Cols != 5 {
+		t.Fatalf("phantom clone = %v", c)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	a := New(3, 2)
+	for i := range a.Data {
+		a.Data[i] = float64(i) * 1.5
+	}
+	b := serde.NewBuffer(128)
+	serde.EncodeAny(b, a)
+	got := serde.DecodeAny(serde.FromBytes(b.Bytes())).(*Tile)
+	if !got.Equal(a, 0) {
+		t.Fatalf("round trip mismatch: %v", got.Data)
+	}
+}
+
+func TestPhantomCodecRoundTrip(t *testing.T) {
+	p := Phantom(7, 9)
+	b := serde.NewBuffer(32)
+	serde.EncodeAny(b, p)
+	got := serde.DecodeAny(serde.FromBytes(b.Bytes())).(*Tile)
+	if !got.IsPhantom() || got.Rows != 7 || got.Cols != 9 {
+		t.Fatalf("phantom round trip = %v", got)
+	}
+	// Wire size models the full payload even for phantoms.
+	if serde.WireSizeAny(p) < p.PayloadSize() {
+		t.Fatalf("phantom wire size %d < payload %d", serde.WireSizeAny(p), p.PayloadSize())
+	}
+}
+
+func TestSplitMDAllocate(t *testing.T) {
+	src := New(3, 4)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	tr, ok := serde.SplitMDFor(src)
+	if !ok {
+		t.Fatal("tile has no splitmd traits")
+	}
+	dst := tr.Allocate(src.SplitMetadata()).(*Tile)
+	dst.CopyPayloadFrom(src)
+	if !dst.Equal(src, 0) {
+		t.Fatal("splitmd copy mismatch")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid{N: 100, NB: 32}
+	if g.NT() != 4 {
+		t.Fatalf("NT = %d", g.NT())
+	}
+	if g.Dim(0) != 32 || g.Dim(3) != 4 {
+		t.Fatalf("dims = %d, %d", g.Dim(0), g.Dim(3))
+	}
+	exact := Grid{N: 64, NB: 32}
+	if exact.NT() != 2 || exact.Dim(1) != 32 {
+		t.Fatalf("exact grid wrong")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := New(1, 2)
+	a.Data[0], a.Data[1] = 3, 4
+	if n := a.FrobeniusNorm(); n != 5 {
+		t.Fatalf("norm = %v", n)
+	}
+}

@@ -1,0 +1,80 @@
+// Package trace collects per-rank execution statistics: tasks run, messages
+// and bytes moved, data copies made, and protocol choices. The counters back
+// the copy-avoidance and broadcast-optimization ablations and give the
+// benchmark harness its "communication volume" columns.
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Collector accumulates counters for one rank. All methods are safe for
+// concurrent use.
+type Collector struct {
+	TasksExecuted    atomic.Int64
+	MsgsSent         atomic.Int64
+	MsgsReceived     atomic.Int64
+	BytesSent        atomic.Int64
+	DataCopies       atomic.Int64 // deep copies made for copy-on-send
+	CopiesAvoided    atomic.Int64 // borrows/moves that skipped a copy
+	SplitMDTransfers atomic.Int64 // payloads moved via the splitmd protocol
+	ArchiveTransfers atomic.Int64 // payloads moved via whole-object archives
+	BcastsForwarded  atomic.Int64 // tree-broadcast forwards performed
+	TasksStolen      atomic.Int64
+}
+
+// Snapshot is an immutable copy of a Collector's counters.
+type Snapshot struct {
+	TasksExecuted    int64
+	MsgsSent         int64
+	MsgsReceived     int64
+	BytesSent        int64
+	DataCopies       int64
+	CopiesAvoided    int64
+	SplitMDTransfers int64
+	ArchiveTransfers int64
+	BcastsForwarded  int64
+	TasksStolen      int64
+}
+
+// Snapshot captures the current counter values.
+func (c *Collector) Snapshot() Snapshot {
+	return Snapshot{
+		TasksExecuted:    c.TasksExecuted.Load(),
+		MsgsSent:         c.MsgsSent.Load(),
+		MsgsReceived:     c.MsgsReceived.Load(),
+		BytesSent:        c.BytesSent.Load(),
+		DataCopies:       c.DataCopies.Load(),
+		CopiesAvoided:    c.CopiesAvoided.Load(),
+		SplitMDTransfers: c.SplitMDTransfers.Load(),
+		ArchiveTransfers: c.ArchiveTransfers.Load(),
+		BcastsForwarded:  c.BcastsForwarded.Load(),
+		TasksStolen:      c.TasksStolen.Load(),
+	}
+}
+
+// Add returns the element-wise sum of two snapshots, used to aggregate
+// across ranks.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		TasksExecuted:    s.TasksExecuted + o.TasksExecuted,
+		MsgsSent:         s.MsgsSent + o.MsgsSent,
+		MsgsReceived:     s.MsgsReceived + o.MsgsReceived,
+		BytesSent:        s.BytesSent + o.BytesSent,
+		DataCopies:       s.DataCopies + o.DataCopies,
+		CopiesAvoided:    s.CopiesAvoided + o.CopiesAvoided,
+		SplitMDTransfers: s.SplitMDTransfers + o.SplitMDTransfers,
+		ArchiveTransfers: s.ArchiveTransfers + o.ArchiveTransfers,
+		BcastsForwarded:  s.BcastsForwarded + o.BcastsForwarded,
+		TasksStolen:      s.TasksStolen + o.TasksStolen,
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"tasks=%d msgs=%d/%d bytes=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d",
+		s.TasksExecuted, s.MsgsSent, s.MsgsReceived, s.BytesSent,
+		s.DataCopies, s.CopiesAvoided, s.SplitMDTransfers, s.ArchiveTransfers,
+		s.BcastsForwarded, s.TasksStolen)
+}

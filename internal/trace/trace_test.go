@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndAdd(t *testing.T) {
+	var c Collector
+	c.TasksExecuted.Add(3)
+	c.MsgsSent.Add(2)
+	c.BytesSent.Add(100)
+	c.DataCopies.Add(1)
+	s := c.Snapshot()
+	if s.TasksExecuted != 3 || s.MsgsSent != 2 || s.BytesSent != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	sum := s.Add(s)
+	if sum.TasksExecuted != 6 || sum.BytesSent != 200 || sum.DataCopies != 2 {
+		t.Fatalf("sum = %+v", sum)
+	}
+}
+
+func TestSnapshotStringMentionsEverything(t *testing.T) {
+	var c Collector
+	c.SplitMDTransfers.Add(7)
+	c.BcastsForwarded.Add(5)
+	s := c.Snapshot().String()
+	for _, want := range []string{"tasks=", "msgs=", "bytes=", "copies=", "splitmd=7", "bcast-fwd=5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.TasksExecuted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().TasksExecuted; got != 8000 {
+		t.Fatalf("count = %d", got)
+	}
+}

@@ -1,0 +1,207 @@
+package ttg
+
+import (
+	"repro/internal/core"
+)
+
+// Edge is a typed conduit carrying (K, V) messages from output terminals to
+// input terminals. Both the task-ID type K and the value type V are fixed
+// at compile time, giving the same type safety as the C++ ttg::Edge<K,V>.
+type Edge[K comparable, V any] struct {
+	e *core.Edge
+}
+
+// NewEdge creates an edge; the name is diagnostic only.
+func NewEdge[K comparable, V any](name string) Edge[K, V] {
+	return Edge[K, V]{e: core.NewEdge(name)}
+}
+
+// Raw exposes the untyped edge.
+func (e Edge[K, V]) Raw() *core.Edge { return e.e }
+
+// Name returns the edge's diagnostic name.
+func (e Edge[K, V]) Name() string { return e.e.Name() }
+
+// rawEdge lets heterogeneous typed edges be gathered into output lists.
+type rawEdge interface{ rawCoreEdge() *core.Edge }
+
+func (e Edge[K, V]) rawCoreEdge() *core.Edge { return e.e }
+
+// In declares a typed input terminal of a template task.
+type In[K comparable, V any] struct {
+	spec core.InputSpec
+}
+
+// Input declares a plain input terminal fed by e: one message per task ID.
+func Input[K comparable, V any](e Edge[K, V]) In[K, V] {
+	return In[K, V]{spec: core.InputSpec{Edge: e.e}}
+}
+
+// ReduceInput declares a streaming input terminal (§II-B): messages for the
+// same task ID are folded pairwise with reduce (the first message starts
+// the accumulator), and the terminal is satisfied after size(key) messages.
+// Pass a nil size to leave streams open until SetStreamSize or Finalize.
+// This is the set_input_reducer of Listing 3.
+func ReduceInput[K comparable, V any](e Edge[K, V], reduce func(acc, v V) V, size func(K) int) In[K, V] {
+	spec := core.InputSpec{
+		Edge: e.e,
+		Reducer: func(acc, v any) any {
+			if acc == nil {
+				return v
+			}
+			return reduce(acc.(V), v.(V))
+		},
+	}
+	if size != nil {
+		spec.StreamSize = func(key any) int { return size(key.(K)) }
+	}
+	return In[K, V]{spec: spec}
+}
+
+// Out gathers typed edges into a template task's output terminal list.
+// Output terminals exist for graph-structure validation; sends address
+// edges directly.
+func Out(edges ...rawEdge) []core.OutputSpec {
+	out := make([]core.OutputSpec, len(edges))
+	for i, e := range edges {
+		out[i] = core.OutputSpec{Edge: e.rawCoreEdge()}
+	}
+	return out
+}
+
+// Context is implemented by every typed task context; the send operations
+// accept any of them.
+type Context interface{ coreCtx() *core.TaskContext }
+
+// Ctx is the typed task context for a template task with task-ID type K.
+type Ctx[K comparable] struct {
+	c *core.TaskContext
+}
+
+func (x *Ctx[K]) coreCtx() *core.TaskContext { return x.c }
+
+// Key returns the task ID.
+func (x *Ctx[K]) Key() K { return x.c.Key().(K) }
+
+// Rank returns the executing rank.
+func (x *Ctx[K]) Rank() int { return x.c.Rank() }
+
+// Size returns the number of ranks.
+func (x *Ctx[K]) Size() int { return x.c.Size() }
+
+// Worker returns the executing worker-thread index.
+func (x *Ctx[K]) Worker() int { return x.c.Worker() }
+
+// Send emits value for task ID key on edge e with copy semantics
+// (Fig. 2a).
+func Send[K comparable, V any](x Context, e Edge[K, V], key K, value V) {
+	x.coreCtx().SendEdge(e.e, key, value, core.SendCopy)
+}
+
+// SendM is Send with explicit data-passing semantics.
+func SendM[K comparable, V any](x Context, e Edge[K, V], key K, value V, mode Mode) {
+	x.coreCtx().SendEdge(e.e, key, value, mode)
+}
+
+// Broadcast emits one value for several task IDs on edge e (Fig. 2b); the
+// value crosses each network link at most once.
+func Broadcast[K comparable, V any](x Context, e Edge[K, V], keys []K, value V) {
+	BroadcastM(x, e, keys, value, core.SendCopy)
+}
+
+// BroadcastM is Broadcast with explicit semantics.
+func BroadcastM[K comparable, V any](x Context, e Edge[K, V], keys []K, value V, mode Mode) {
+	x.coreCtx().BroadcastEdge(e.e, anyKeys(keys), value, mode)
+}
+
+// Target names one edge and the task IDs a multi-terminal broadcast feeds
+// through it; build with To.
+type Target[V any] struct {
+	e    *core.Edge
+	keys []any
+}
+
+// To builds a broadcast target: edge e for the given task IDs.
+func To[K comparable, V any](e Edge[K, V], keys ...K) Target[V] {
+	return Target[V]{e: e.e, keys: anyKeys(keys)}
+}
+
+// BroadcastMulti emits one value to several output terminals, each with its
+// own task IDs (Fig. 2c — the TRSM pattern of Listing 1). All targets must
+// carry the same value type; the value crosses each link at most once.
+func BroadcastMulti[V any](x Context, value V, mode Mode, targets ...Target[V]) {
+	edges := make([]*core.Edge, len(targets))
+	keys := make([][]any, len(targets))
+	for i, t := range targets {
+		edges[i] = t.e
+		keys[i] = t.keys
+	}
+	x.coreCtx().BroadcastEdges(edges, keys, value, mode)
+}
+
+// Finalize closes the streaming terminals fed by e for the given task ID;
+// their current accumulation becomes the task input.
+func Finalize[K comparable, V any](x Context, e Edge[K, V], key K) {
+	x.coreCtx().FinalizeEdge(e.e, key)
+}
+
+// SetStreamSize announces how many stream messages the terminals fed by e
+// should expect for the given task ID.
+func SetStreamSize[K comparable, V any](x Context, e Edge[K, V], key K, n int) {
+	x.coreCtx().SetStreamSizeEdge(e.e, key, n)
+}
+
+// Seed injects a value into an edge from outside any task (initial data
+// injection from a rank main, between MakeExecutable and Fence). Routing
+// follows the consumers' keymaps, so seeding from one rank is enough.
+func Seed[K comparable, V any](g *Graph, e Edge[K, V], key K, value V) {
+	g.core.Seed(e.e, key, value)
+}
+
+// SeedBroadcast injects one value for several task IDs.
+func SeedBroadcast[K comparable, V any](g *Graph, e Edge[K, V], keys []K, value V) {
+	g.core.SeedBroadcast(e.e, anyKeys(keys), value)
+}
+
+// SeedFinalize closes streaming terminals fed by e from outside any task.
+func SeedFinalize[K comparable, V any](g *Graph, e Edge[K, V], key K) {
+	g.core.FinalizeSeed(e.e, key)
+}
+
+// SeedSetStreamSize announces a stream length from outside any task.
+func SeedSetStreamSize[K comparable, V any](g *Graph, e Edge[K, V], key K, n int) {
+	g.core.SetStreamSizeSeed(e.e, key, n)
+}
+
+// SeedOwned injects value(key) on e for every listed key whose consumer
+// task tt's key map assigns to this rank — the owner-seeds-its-own-data
+// initialization every SPMD main otherwise writes by hand (the
+// data-injection simplification the paper lists as future work). Call it
+// on every rank with the same key list; each key is seeded exactly once,
+// locally, with no injection traffic.
+func SeedOwned[K comparable, V any](g *Graph, tt TT, e Edge[K, V], keys []K, value func(K) V) {
+	me := g.Rank()
+	for _, k := range keys {
+		if tt.Core().Owner(k) == me {
+			Seed(g, e, k, value(k))
+		}
+	}
+}
+
+func anyKeys[K comparable](keys []K) []any {
+	out := make([]any, len(keys))
+	for i, k := range keys {
+		out[i] = k
+	}
+	return out
+}
+
+// input extracts a typed input, mapping an absent (finalized-empty) stream
+// to V's zero value.
+func input[V any](c *core.TaskContext, i int) V {
+	if v := c.Input(i); v != nil {
+		return v.(V)
+	}
+	var zero V
+	return zero
+}

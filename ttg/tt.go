@@ -1,0 +1,180 @@
+package ttg
+
+import (
+	"repro/internal/core"
+	"repro/internal/serde"
+)
+
+// TT is a handle to a registered template task.
+type TT struct {
+	tt *core.TT
+}
+
+// Core exposes the underlying template task.
+func (t TT) Core() *core.TT { return t.tt }
+
+// TTFromCore wraps an engine-level template task in the public handle;
+// alternative frontends building directly on the core (e.g. the PTG DSL)
+// use it to hand out uniform handles.
+func TTFromCore(tt *core.TT) TT { return TT{tt: tt} }
+
+// Name returns the template task's diagnostic name.
+func (t TT) Name() string { return t.tt.Name() }
+
+// Options carry the optional per-template maps of the paper: the process
+// map assigning task IDs to ranks and the priority map assigning task IDs
+// to scheduling priorities.
+type Options[K comparable] struct {
+	// Keymap maps a task ID to the rank that executes it. Defaults to
+	// hash(key) mod ranks.
+	Keymap func(K) int
+	// Priomap maps a task ID to a priority; larger runs first.
+	Priomap func(K) int64
+}
+
+func (o Options[K]) lower() (func(any) int, func(any) int64) {
+	var km func(any) int
+	var pm func(any) int64
+	if o.Keymap != nil {
+		f := o.Keymap
+		km = func(k any) int { return f(k.(K)) }
+	}
+	if o.Priomap != nil {
+		f := o.Priomap
+		pm = func(k any) int64 { return f(k.(K)) }
+	}
+	return km, pm
+}
+
+func firstOpt[K comparable](opts []Options[K]) Options[K] {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options[K]{}
+}
+
+// MakeTT1 registers a template task with one input terminal, the analog of
+// ttg::make_tt over a unary lambda. The body receives the typed context
+// (task ID, rank info, send operations) and the input value.
+func MakeTT1[K comparable, I0 any](
+	g *Graph, name string,
+	in0 In[K, I0],
+	outs []core.OutputSpec,
+	body func(x *Ctx[K], a I0),
+	opts ...Options[K],
+) TT {
+	km, pm := firstOpt(opts).lower()
+	tt := g.core.AddTT(core.TTSpec{
+		Name:    name,
+		Inputs:  []core.InputSpec{in0.spec},
+		Outputs: outs,
+		Keymap:  km,
+		Priomap: pm,
+		Body: func(c *core.TaskContext) {
+			body(&Ctx[K]{c: c}, input[I0](c, 0))
+		},
+	})
+	return TT{tt: tt}
+}
+
+// MakeTT2 registers a template task with two input terminals.
+func MakeTT2[K comparable, I0, I1 any](
+	g *Graph, name string,
+	in0 In[K, I0], in1 In[K, I1],
+	outs []core.OutputSpec,
+	body func(x *Ctx[K], a I0, b I1),
+	opts ...Options[K],
+) TT {
+	km, pm := firstOpt(opts).lower()
+	tt := g.core.AddTT(core.TTSpec{
+		Name:    name,
+		Inputs:  []core.InputSpec{in0.spec, in1.spec},
+		Outputs: outs,
+		Keymap:  km,
+		Priomap: pm,
+		Body: func(c *core.TaskContext) {
+			body(&Ctx[K]{c: c}, input[I0](c, 0), input[I1](c, 1))
+		},
+	})
+	return TT{tt: tt}
+}
+
+// MakeTT3 registers a template task with three input terminals.
+func MakeTT3[K comparable, I0, I1, I2 any](
+	g *Graph, name string,
+	in0 In[K, I0], in1 In[K, I1], in2 In[K, I2],
+	outs []core.OutputSpec,
+	body func(x *Ctx[K], a I0, b I1, c I2),
+	opts ...Options[K],
+) TT {
+	km, pm := firstOpt(opts).lower()
+	tt := g.core.AddTT(core.TTSpec{
+		Name:    name,
+		Inputs:  []core.InputSpec{in0.spec, in1.spec, in2.spec},
+		Outputs: outs,
+		Keymap:  km,
+		Priomap: pm,
+		Body: func(c *core.TaskContext) {
+			body(&Ctx[K]{c: c}, input[I0](c, 0), input[I1](c, 1), input[I2](c, 2))
+		},
+	})
+	return TT{tt: tt}
+}
+
+// MakeTT4 registers a template task with four input terminals.
+func MakeTT4[K comparable, I0, I1, I2, I3 any](
+	g *Graph, name string,
+	in0 In[K, I0], in1 In[K, I1], in2 In[K, I2], in3 In[K, I3],
+	outs []core.OutputSpec,
+	body func(x *Ctx[K], a I0, b I1, c I2, d I3),
+	opts ...Options[K],
+) TT {
+	km, pm := firstOpt(opts).lower()
+	tt := g.core.AddTT(core.TTSpec{
+		Name:    name,
+		Inputs:  []core.InputSpec{in0.spec, in1.spec, in2.spec, in3.spec},
+		Outputs: outs,
+		Keymap:  km,
+		Priomap: pm,
+		Body: func(c *core.TaskContext) {
+			body(&Ctx[K]{c: c}, input[I0](c, 0), input[I1](c, 1), input[I2](c, 2), input[I3](c, 3))
+		},
+	})
+	return TT{tt: tt}
+}
+
+// Invoke1 creates one task of a unary template directly (the C++
+// op->invoke analog); call it on the key's owner rank after
+// MakeExecutable, typically to bootstrap initiator tasks. Unlike sends
+// through typed edges, the argument types here are inferred from the call
+// site, not checked against the template's declared terminals — pass
+// exactly the terminal types (e.g. 1.0, not the untyped constant 1, for a
+// float64 terminal) or the task body's type assertion will panic.
+func Invoke1[K comparable, I0 any](t TT, key K, a I0) {
+	t.tt.Invoke(key, a)
+}
+
+// Invoke2 creates one task of a binary template directly.
+func Invoke2[K comparable, I0, I1 any](t TT, key K, a I0, b I1) {
+	t.tt.Invoke(key, a, b)
+}
+
+// Invoke3 creates one task of a ternary template directly.
+func Invoke3[K comparable, I0, I1, I2 any](t TT, key K, a I0, b I1, c I2) {
+	t.tt.Invoke(key, a, b, c)
+}
+
+// Dot renders the template task graph in Graphviz DOT form (the C++
+// ttg::dot analog); identical on every rank.
+func (g *Graph) Dot() string { return g.core.Dot() }
+
+// RegisterCodec installs a typed serialization codec; every value and
+// task-ID type crossing rank boundaries needs one (common types are
+// built in).
+func RegisterCodec[T any](fc serde.FuncCodec[T]) { serde.Register(fc) }
+
+// RegisterSplitMD installs split-metadata traits so values of the sample's
+// type use the two-stage metadata+RMA protocol on backends supporting it.
+func RegisterSplitMD(sample serde.SplitMD, tr serde.SplitMDTraits) {
+	serde.RegisterSplitMD(sample, tr)
+}

@@ -1,0 +1,194 @@
+// Package ttg is the public, strongly typed Template Task Graph API: a Go
+// reproduction of the C++ TTG programming model of Schuchart et al.
+// (IPDPS 2022). An algorithm is expressed as a graph of template tasks
+// whose typed input and output terminals are connected by typed edges;
+// messages carry a task ID and a data value, and a task instance is created
+// once every input terminal has received a message with the same ID. Go
+// generics take the place of C++ templates: edges, terminals, reducers, and
+// task bodies are all checked at compile time.
+//
+// Programs run over one of two runtime backends modeled on the paper's
+// PaRSEC and MADNESS backends, on a process-local virtual cluster standing
+// in for an MPI fabric. The same application code runs on either backend —
+// selecting one is a configuration value rather than the C++
+// implementation's preprocessor macro.
+//
+//	ttg.Run(ttg.Config{Ranks: 4, Backend: ttg.PaRSEC}, func(pc *ttg.Process) {
+//		g := pc.NewGraph()
+//		in := ttg.NewEdge[ttg.Int1, float64]("in")
+//		... build template tasks ...
+//		g.MakeExecutable()
+//		if pc.Rank() == 0 {
+//			ttg.Seed(g, in, ttg.Int1{0}, 1.0)
+//		}
+//		g.Fence()
+//	})
+package ttg
+
+import (
+	"repro/internal/backend"
+	"repro/internal/backend/madness"
+	"repro/internal/backend/parsec"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/serde"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Mode selects data-passing semantics for sends (Listing 2 of the paper).
+type Mode = core.SendMode
+
+// Send modes: Copy is the safe default; Borrow is the const-ref
+// convention (no copy under runtimes that track data lifetimes); Move
+// transfers ownership (the std::move convention).
+const (
+	Copy   = core.SendCopy
+	Borrow = core.SendBorrow
+	Move   = core.SendMove
+)
+
+// Common task-ID tuple types and the null (void) type, re-exported from the
+// serialization layer.
+type (
+	// Void is the null type for pure control flow (void data) or pure
+	// dataflow (void task IDs).
+	Void = serde.Void
+	// Int1 is a 1-tuple task ID.
+	Int1 = serde.Int1
+	// Int2 is a 2-tuple task ID.
+	Int2 = serde.Int2
+	// Int3 is a 3-tuple task ID.
+	Int3 = serde.Int3
+	// Int4 is a 4-tuple task ID.
+	Int4 = serde.Int4
+	// Int5 is a 5-tuple task ID.
+	Int5 = serde.Int5
+)
+
+// Backend selects the runtime model executing the graph.
+type Backend int
+
+const (
+	// PaRSEC: priority scheduling, runtime-owned data (const-ref sends
+	// avoid copies), splitmd one-sided transfers, tree broadcasts.
+	PaRSEC Backend = iota
+	// MADNESS: FIFO thread pool with a dedicated active-message thread,
+	// whole-object serialization, copies on every hop.
+	MADNESS
+)
+
+func (b Backend) String() string {
+	if b == MADNESS {
+		return "madness"
+	}
+	return "parsec"
+}
+
+// Config describes the virtual cluster and backend for a run.
+type Config struct {
+	// Ranks is the number of virtual processes (default 1).
+	Ranks int
+	// WorkersPerRank is each rank's worker-thread count (default
+	// NumCPU/Ranks, minimum 1).
+	WorkersPerRank int
+	// Backend picks the runtime model.
+	Backend Backend
+	// Net sets fabric latency/bandwidth; zero values mean an ideal fabric.
+	Net simnet.Config
+	// Policy optionally overrides the PaRSEC-model scheduler module.
+	Policy sched.Policy
+	// HasPolicy marks Policy as explicitly set.
+	HasPolicy bool
+	// EagerThreshold overrides the splitmd switch-over size (bytes).
+	EagerThreshold int
+}
+
+// Process is one rank's execution context inside Run.
+type Process struct {
+	p *backend.Proc
+}
+
+// Rank returns this process's rank.
+func (pc *Process) Rank() int { return pc.p.Rank() }
+
+// Size returns the number of ranks.
+func (pc *Process) Size() int { return pc.p.Size() }
+
+// Workers returns the rank's worker-thread count.
+func (pc *Process) Workers() int { return pc.p.Workers() }
+
+// Stats returns this rank's execution counters.
+func (pc *Process) Stats() trace.Snapshot { return pc.p.Tracer().Snapshot() }
+
+// NewGraph creates an empty graph bound to this process.
+func (pc *Process) NewGraph() *Graph {
+	return NewGraphOn(pc.p)
+}
+
+// Executor is the contract a runtime rank offers the typed API: the core
+// executor operations plus graph binding. Both the real backends
+// (backend.Proc) and the virtual-time backend (sim.Proc) satisfy it.
+type Executor interface {
+	core.Executor
+	Bind(*core.Graph)
+}
+
+// NewGraphOn builds a typed graph over any executor — used by the
+// benchmark harness to run the same application code on the virtual-time
+// backend.
+func NewGraphOn(exec Executor) *Graph {
+	return &Graph{core: core.NewGraph(exec), binder: exec}
+}
+
+// Graph is a typed template task graph under construction or execution.
+type Graph struct {
+	core   *core.Graph
+	binder Executor
+}
+
+// Core exposes the underlying untyped graph (advanced use, tests).
+func (g *Graph) Core() *core.Graph { return g.core }
+
+// Rank returns the local rank.
+func (g *Graph) Rank() int { return g.core.Rank() }
+
+// Size returns the number of ranks.
+func (g *Graph) Size() int { return g.core.Size() }
+
+// MakeExecutable seals the graph and attaches it to the runtime; after
+// this, seeds may be injected and tasks will run. The analog of
+// make_graph_executable in the C++ TTG.
+func (g *Graph) MakeExecutable() {
+	g.core.Seal()
+	g.binder.Bind(g.core)
+}
+
+// Fence blocks until the distributed computation quiesces (collective).
+func (g *Graph) Fence() { g.core.Fence() }
+
+// Run executes main once per rank over a fresh virtual cluster, then shuts
+// the cluster down. Each main must build identical graphs (the SPMD
+// convention), call MakeExecutable, inject any seeds, and Fence.
+func Run(cfg Config, main func(pc *Process)) {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	var rt *backend.Runtime
+	switch cfg.Backend {
+	case MADNESS:
+		rt = madness.New(cfg.Ranks, madness.Config{
+			WorkersPerRank: cfg.WorkersPerRank,
+			Net:            cfg.Net,
+		})
+	default:
+		rt = parsec.New(cfg.Ranks, parsec.Config{
+			WorkersPerRank: cfg.WorkersPerRank,
+			Policy:         cfg.Policy,
+			HasPolicy:      cfg.HasPolicy,
+			EagerThreshold: cfg.EagerThreshold,
+			Net:            cfg.Net,
+		})
+	}
+	rt.Run(func(p *backend.Proc) { main(&Process{p: p}) })
+}
