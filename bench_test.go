@@ -17,6 +17,7 @@ import (
 	"repro/internal/backend/sim"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/sparse"
 	"repro/internal/tile"
@@ -99,6 +100,51 @@ func BenchmarkSendThroughputLocal(b *testing.B) {
 // virtual fabric, delivery, task dispatch).
 func BenchmarkSendThroughputRemote(b *testing.B) {
 	benchSendChain(b, 2)
+}
+
+// BenchmarkObsOverhead guards the observability layer's cost on the hottest
+// runtime path (same-rank send → match → activate → execute). The
+// sub-benches run the identical chain workload with recording disabled
+// (every instrumentation point reduces to one nil-check branch) and enabled
+// (lock-free ring record + cached metric handles). Regression guard: the
+// disabled ns/op must stay within 2% of BenchmarkSendThroughputLocal (the
+// uninstrumented figure), and a significantly larger disabled/Local gap
+// means a nil-check was replaced by something costlier — treat that as a
+// failure even though the benchmark itself cannot assert across runs.
+// Enabled overhead is informational; ~5 events per hop is the expected
+// recording volume.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { benchObsChain(b, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		// Cap the ring so huge -benchtime runs don't allocate without
+		// bound; once full, the drop path still exercises the atomic claim.
+		cap := b.N * 6
+		if cap > 1<<20 {
+			cap = 1 << 20
+		}
+		benchObsChain(b, obs.NewSession(obs.Config{Capacity: cap}))
+	})
+}
+
+func benchObsChain(b *testing.B, session *obs.Session) {
+	n := b.N
+	ttg.Run(ttg.Config{Ranks: 1, WorkersPerRank: 1, Obs: session}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		e := ttg.NewEdge[ttg.Int1, float64]("chain")
+		ttg.MakeTT1(g, "hop", ttg.Input(e), ttg.Out(e),
+			func(x *ttg.Ctx[ttg.Int1], v float64) {
+				k := x.Key()[0]
+				if k < n {
+					ttg.Send(x, e, ttg.Int1{k + 1}, v)
+				}
+			},
+			ttg.Options[ttg.Int1]{Keymap: func(k ttg.Int1) int { return 0 }},
+		)
+		g.MakeExecutable()
+		b.ResetTimer()
+		ttg.Seed(g, e, ttg.Int1{0}, 1.0)
+		g.Fence()
+	})
 }
 
 func benchSendChain(b *testing.B, ranks int) {

@@ -3,16 +3,18 @@
 // matrix, and reports the sparsity profile, throughput, and communication
 // statistics.
 //
-// Usage: bspmm [-atoms 120] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|dbcsr] [-layers N]
+// Usage: bspmm [-atoms 120] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|dbcsr] [-layers N] [-trace out.json] [-stats]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
 	"repro/internal/apps/bspmm"
+	"repro/internal/obscli"
 	"repro/internal/sparse"
 	"repro/internal/tile"
 	"repro/internal/trace"
@@ -26,6 +28,7 @@ func main() {
 	backendName := flag.String("backend", "parsec", "runtime backend: parsec or madness")
 	variantName := flag.String("variant", "ttg", "algorithm: ttg (2D SUMMA) or dbcsr (2.5D model)")
 	layers := flag.Int("layers", 0, "2.5D replica layers (dbcsr model; 0 = auto)")
+	obsFlags := obscli.Register(nil)
 	flag.Parse()
 
 	be := ttg.PaRSEC
@@ -48,7 +51,8 @@ func main() {
 	var stats trace.Snapshot
 	start := time.Now()
 	var appStats string
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be}, func(pc *ttg.Process) {
+	session := obsFlags.Session()
+	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := bspmm.Build(g, bspmm.Options{
 			A: mat, Variant: variant, Layers: *layers,
@@ -74,4 +78,7 @@ func main() {
 	fmt.Printf("product tiles: %d, Σ‖C tile‖_F = %.6g\n", produced, checksum)
 	fmt.Printf("time %.3fs (%.2f GF/s aggregate)\n", elapsed.Seconds(), mat.MulFlops()/elapsed.Seconds()/1e9)
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.Finish(session); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -2,7 +2,7 @@
 // shortest-path solver for real on a process-local virtual cluster,
 // verifies against the scalar algorithm, and reports throughput.
 //
-// Usage: fwapsp [-n 256] [-nb 32] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|forkjoin] [-noverify]
+// Usage: fwapsp [-n 256] [-nb 32] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|forkjoin] [-noverify] [-trace out.json] [-stats]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/apps/fw"
 	"repro/internal/lapack"
+	"repro/internal/obscli"
 	"repro/internal/tile"
 	"repro/internal/trace"
 	"repro/ttg"
@@ -28,6 +29,7 @@ func main() {
 	backendName := flag.String("backend", "parsec", "runtime backend: parsec or madness")
 	variantName := flag.String("variant", "ttg", "sync structure: ttg or forkjoin")
 	noverify := flag.Bool("noverify", false, "skip the O(n³) scalar verification")
+	obsFlags := obscli.Register(nil)
 	flag.Parse()
 
 	be := ttg.PaRSEC
@@ -44,7 +46,8 @@ func main() {
 	results := map[ttg.Int2]*tile.Tile{}
 	var stats trace.Snapshot
 	start := time.Now()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be}, func(pc *ttg.Process) {
+	session := obsFlags.Session()
+	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := fw.Build(g, fw.Options{
 			Grid: grid, Variant: variant, Priorities: variant == fw.TTGVariant,
@@ -72,6 +75,9 @@ func main() {
 	fmt.Printf("time %.3fs (%.2f Gop/s aggregate)\n",
 		elapsed.Seconds(), fw.Flops(*n)/elapsed.Seconds()/1e9)
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.Finish(session); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func verify(n int, grid tile.Grid, results map[ttg.Int2]*tile.Tile) {

@@ -3,7 +3,7 @@
 // random Gaussians, compression, reconstruction, and norm verification
 // against the analytic value.
 //
-// Usage: mra [-k 8] [-d 3] [-funcs 4] [-exponent 600] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|native]
+// Usage: mra [-k 8] [-d 3] [-funcs 4] [-exponent 600] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|native] [-trace out.json] [-stats]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/apps/mra"
+	"repro/internal/obscli"
 	"repro/internal/trace"
 	"repro/ttg"
 )
@@ -29,6 +30,7 @@ func main() {
 	workers := flag.Int("workers", 2, "worker threads per rank")
 	backendName := flag.String("backend", "parsec", "runtime backend: parsec or madness")
 	variantName := flag.String("variant", "ttg", "sync structure: ttg (streamed) or native (fenced)")
+	obsFlags := obscli.Register(nil)
 	flag.Parse()
 
 	be := ttg.PaRSEC
@@ -52,7 +54,8 @@ func main() {
 		opts.Variant = mra.NativeMADNESSModel
 	}
 	start := time.Now()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be}, func(pc *ttg.Process) {
+	session := obsFlags.Session()
+	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := mra.Build(g, opts)
 		g.MakeExecutable()
@@ -88,4 +91,7 @@ func main() {
 	fmt.Printf("verified: worst relative norm error %.3g (analytic %.8g)\n", worst, want)
 	fmt.Printf("time %.3fs\n", elapsed.Seconds())
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.Finish(session); err != nil {
+		log.Fatal(err)
+	}
 }

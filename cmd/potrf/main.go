@@ -3,7 +3,7 @@
 // cluster, verifies ‖L·Lᵀ − A‖, and reports throughput and communication
 // statistics.
 //
-// Usage: potrf [-n 512] [-nb 64] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|scalapack|slate]
+// Usage: potrf [-n 512] [-nb 64] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|scalapack|slate] [-trace out.json] [-stats]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/apps/cholesky"
+	"repro/internal/obscli"
 	"repro/internal/tile"
 	"repro/internal/trace"
 	"repro/ttg"
@@ -26,6 +27,7 @@ func main() {
 	workers := flag.Int("workers", 2, "worker threads per rank")
 	backendName := flag.String("backend", "parsec", "runtime backend: parsec or madness")
 	variantName := flag.String("variant", "ttg", "sync structure: ttg, scalapack, or slate")
+	obsFlags := obscli.Register(nil)
 	flag.Parse()
 
 	be := ttg.PaRSEC
@@ -45,7 +47,8 @@ func main() {
 	results := map[ttg.Int2]*tile.Tile{}
 	var stats trace.Snapshot
 	start := time.Now()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be}, func(pc *ttg.Process) {
+	session := obsFlags.Session()
+	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := cholesky.Build(g, cholesky.Options{
 			Grid: grid, Variant: variant, Priorities: variant == cholesky.TTGVariant,
@@ -74,4 +77,7 @@ func main() {
 	fmt.Printf("verified: max |L·Lᵀ − A| = %.3g\n", maxErr)
 	fmt.Printf("time %.3fs (%.2f GF/s aggregate)\n", elapsed.Seconds(), gflops)
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.Finish(session); err != nil {
+		log.Fatal(err)
+	}
 }

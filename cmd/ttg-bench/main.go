@@ -6,8 +6,13 @@
 // Usage:
 //
 //	ttg-bench [-quick] [-csv] fig5|fig6|fig8|fig9|fig12|fig13a|fig13b|all|env
+//	ttg-bench [-app potrf|fwapsp|bspmm|mra] [-backend parsec|madness] [-http :6060] trace|stats
 //
-// -quick runs the scaled-down sweeps (seconds instead of minutes).
+// -quick runs the scaled-down sweeps (seconds instead of minutes). The
+// trace and stats subcommands run one application for real with the
+// observability layer on, writing a Chrome-trace JSON (trace) or printing
+// per-template profiles, histograms, and the observed critical path
+// (stats); -http serves net/http/pprof and expvar live during the run.
 package main
 
 import (
@@ -25,7 +30,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	timeline := flag.String("timeline", "", "with profile: write a Chrome trace JSON to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ttg-bench [-quick] [-csv] fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|hetero|all|env|profile\n")
+		fmt.Fprintf(os.Stderr, "usage: ttg-bench [-quick] [-csv] fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|hetero|all|env|profile|trace|stats\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -56,6 +61,8 @@ func main() {
 		}
 	}
 	switch cmd := flag.Arg(0); cmd {
+	case "trace", "stats":
+		runObserved(cmd)
 	case "fig11":
 		fmt.Print(experiments.Fig11(scale))
 	case "profile":

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/simnet"
@@ -54,6 +55,11 @@ type Options struct {
 	EagerThreshold int
 	// Net configures latency/bandwidth of the virtual fabric.
 	Net simnet.Config
+	// Obs, when non-nil, enables structured observability: every rank
+	// records lifecycle events and metrics into the session, and the
+	// fabric maintains the in-flight-message gauge. Nil costs one branch
+	// per instrumentation point.
+	Obs *obs.Session
 }
 
 func (o *Options) fill(ranks int) {
@@ -81,6 +87,9 @@ type Runtime struct {
 func New(ranks int, opts Options) *Runtime {
 	opts.fill(ranks)
 	rt := &Runtime{opts: opts, net: simnet.New(opts.Net)}
+	if opts.Obs != nil {
+		rt.net.Observe(opts.Obs.Global().Gauge(obs.GaugeInflightMsgs))
+	}
 	rt.procs = make([]*Proc, ranks)
 	for r := 0; r < ranks; r++ {
 		rt.procs[r] = newProc(rt, r)
@@ -136,16 +145,29 @@ type Proc struct {
 	graph    *core.Graph
 	ready    chan struct{}
 	bindOnce sync.Once
+
+	// rec is the rank's observability recorder (nil when disabled); the
+	// message-size histogram handle is resolved once to keep the send
+	// path lock-free.
+	rec      *obs.Rank
+	msgBytes *obs.Histogram
 }
 
 func newProc(rt *Runtime, rank int) *Proc {
 	p := &Proc{rt: rt, rank: rank, ep: rt.net.Endpoint(rank), ready: make(chan struct{})}
+	if rt.opts.Obs != nil {
+		p.rec = rt.opts.Obs.Rank(rank)
+		p.msgBytes = p.rec.Metrics().Histogram(obs.HistMsgBytes)
+	}
 	p.det = termdet.New(rank, rt.Ranks(), func(dst int, data []byte) {
 		p.ep.Send(dst, kCtrl, data)
 	})
 	p.pool = sched.NewPool(rt.opts.WorkersPerRank, rt.opts.Policy, func(w int, it sched.Item) {
 		it.Value.(*core.Task).Execute(w)
 	})
+	if p.rec != nil {
+		p.pool.Observe(p.rec)
+	}
 	return p
 }
 
@@ -175,6 +197,15 @@ func (p *Proc) PendingRMARegions() int { return p.ep.RegionCount() }
 // Tracer implements core.Executor.
 func (p *Proc) Tracer() *trace.Collector { return &p.tr }
 
+// Obs implements core.Executor; it returns a nil interface when
+// observation is disabled so callers' nil checks stay a single branch.
+func (p *Proc) Obs() obs.Recorder {
+	if p.rec == nil {
+		return nil
+	}
+	return p.rec
+}
+
 // TracksData implements core.Executor.
 func (p *Proc) TracksData() bool { return p.rt.opts.TracksData }
 
@@ -188,7 +219,16 @@ func (p *Proc) Activate() { p.det.Activate() }
 func (p *Proc) Deactivate() { p.det.Deactivate() }
 
 // Fence implements core.Executor: collective wait for global quiescence.
-func (p *Proc) Fence() { p.det.Fence() }
+func (p *Proc) Fence() {
+	if p.rec == nil {
+		p.det.Fence()
+		return
+	}
+	start := p.rec.Now()
+	p.det.Fence()
+	p.rec.Record(obs.Event{Kind: obs.EvFence, Worker: -1, TT: -1,
+		Dur: p.rec.Now() - start, Name: "fence"})
+}
 
 // Bind attaches the rank's sealed graph; remote deliveries are held until
 // the graph is bound. Must be called exactly once per Run.
@@ -296,6 +336,7 @@ func (p *Proc) Broadcast(dests map[int]core.Delivery) {
 	serde.EncodeAny(b, value)
 	p.tr.ArchiveTransfers.Add(1)
 	data := b.Bytes()
+	collective.Observe(p.Obs(), order, len(data))
 	for _, child := range collective.Fanout(order, p.rank) {
 		p.send(child, kBcast, data)
 	}
@@ -305,6 +346,11 @@ func (p *Proc) send(dest int, kind uint8, data []byte) {
 	p.det.MsgSent()
 	p.tr.MsgsSent.Add(1)
 	p.tr.BytesSent.Add(int64(len(data)))
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: obs.EvMsgEnqueue, Worker: -1, TT: -1,
+			Bytes: int64(len(data))})
+		p.msgBytes.Observe(int64(len(data)))
+	}
 	p.ep.Send(dest, kind, data)
 }
 
@@ -324,6 +370,8 @@ func (p *Proc) commLoop() {
 			p.det.Activate()
 			p.det.MsgReceived()
 			p.tr.MsgsReceived.Add(1)
+			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
+			p.recordDeliver(len(pkt.Data))
 			b := serde.FromBytes(pkt.Data)
 			d := core.DecodeHeader(b)
 			if b.Bool() {
@@ -336,6 +384,8 @@ func (p *Proc) commLoop() {
 			p.det.Activate()
 			p.det.MsgReceived()
 			p.tr.MsgsReceived.Add(1)
+			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
+			p.recordDeliver(len(pkt.Data))
 			b := serde.FromBytes(pkt.Data)
 			d := core.DecodeHeader(b)
 			tag := uint32(b.Uvarint())
@@ -353,6 +403,8 @@ func (p *Proc) commLoop() {
 			p.det.Activate()
 			p.det.MsgReceived()
 			p.tr.MsgsReceived.Add(1)
+			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
+			p.recordDeliver(len(pkt.Data))
 			p.handleBcast(pkt.Data)
 			p.det.Deactivate()
 		default:
@@ -374,6 +426,8 @@ func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes
 	}
 	obj.CopyPayloadFrom(srcObj.(serde.SplitMD))
 	p.tr.SplitMDTransfers.Add(1)
+	p.tr.BytesReceived.Add(int64(payloadBytes)) // the RMA-fetched payload
+	p.recordDeliver(payloadBytes)
 	d.Value = obj
 	p.graph.Inject(d)
 	// Notify the sender so it can release the source object.
@@ -403,10 +457,22 @@ func (p *Proc) handleBcast(data []byte) {
 	kids := collective.Fanout(order, p.rank)
 	for _, child := range kids {
 		p.tr.BcastsForwarded.Add(1)
+		if p.rec != nil {
+			p.rec.Record(obs.Event{Kind: obs.EvBcastForward, Worker: -1, TT: -1,
+				Bytes: int64(len(data))})
+		}
 		p.send(child, kBcast, data)
 	}
 	if mine != nil {
 		mine.Value = value
 		p.graph.Inject(*mine)
+	}
+}
+
+// recordDeliver emits a message-delivery event on the comm thread.
+func (p *Proc) recordDeliver(bytes int) {
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: obs.EvMsgDeliver, Worker: -1, TT: -1,
+			Bytes: int64(bytes)})
 	}
 }

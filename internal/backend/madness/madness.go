@@ -9,6 +9,7 @@ package madness
 
 import (
 	"repro/internal/backend"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simnet"
 )
@@ -19,6 +20,8 @@ type Config struct {
 	WorkersPerRank int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
+	// Obs, when non-nil, enables structured event recording and metrics.
+	Obs *obs.Session
 }
 
 // New builds a MADNESS-model runtime over ranks virtual processes.
@@ -31,5 +34,6 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		SplitMD:        false,
 		TreeBroadcast:  false,
 		Net:            cfg.Net,
+		Obs:            cfg.Obs,
 	})
 }

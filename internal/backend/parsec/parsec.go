@@ -10,6 +10,7 @@ package parsec
 
 import (
 	"repro/internal/backend"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simnet"
 )
@@ -26,6 +27,8 @@ type Config struct {
 	EagerThreshold int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
+	// Obs, when non-nil, enables structured event recording and metrics.
+	Obs *obs.Session
 }
 
 // New builds a PaRSEC-model runtime over ranks virtual processes.
@@ -43,5 +46,6 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		TreeBroadcast:  true,
 		EagerThreshold: cfg.EagerThreshold,
 		Net:            cfg.Net,
+		Obs:            cfg.Obs,
 	})
 }

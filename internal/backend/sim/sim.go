@@ -19,6 +19,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/trace"
@@ -202,6 +203,12 @@ func (p *Proc) Size() int { return len(p.rt.procs) }
 
 // Tracer implements core.Executor.
 func (p *Proc) Tracer() *trace.Collector { return &p.tr }
+
+// Obs implements core.Executor. The virtual-time backend records its own
+// Timeline in virtual time (EnableTimeline) rather than wall-clock obs
+// events; both export through the same Chrome-trace writer, so traces from
+// either backend family share one schema.
+func (p *Proc) Obs() obs.Recorder { return nil }
 
 // TracksData implements core.Executor.
 func (p *Proc) TracksData() bool { return p.rt.cfg.Flavor.TracksData }
@@ -432,6 +439,7 @@ func (q *Proc) inject(d core.Delivery) {
 	rt := q.rt
 	rt.curExtra = 0
 	q.tr.MsgsReceived.Add(1)
+	q.tr.BytesReceived.Add(int64(valueBytes(d)))
 	q.graph.Inject(d)
 	if extra := rt.curExtra; extra > 0 {
 		q.recvFreeAt = maxf(q.recvFreeAt, rt.eng.Now()+extra)

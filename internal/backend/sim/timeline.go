@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+
+	"repro/internal/obs"
 )
 
 // Timeline records per-task execution spans of a virtual-time run for
@@ -46,7 +46,8 @@ func (rt *Runtime) recordSpan(name string, rank int, start, dur float64, device 
 // Spans returns the recorded spans in recording order.
 func (tl *Timeline) Spans() []Span { return tl.spans }
 
-// ChromeJSON renders the timeline in the Chrome trace-event format.
+// ChromeJSON renders the timeline in the Chrome trace-event format via the
+// shared obs writer (the same schema real-backend session exports use).
 // Lanes (thread ids) are assigned by greedy interval partitioning per
 // rank, so overlapping tasks land on distinct rows; device spans get
 // their own lane block starting at 1000.
@@ -85,19 +86,16 @@ func (tl *Timeline) ChromeJSON() string {
 		laneEnds[k] = ends
 		lanes[idx] = lane
 	}
-	var b strings.Builder
-	b.WriteString("[")
+	spans := make([]obs.ChromeSpan, len(tl.spans))
 	for i, s := range tl.spans {
-		if i > 0 {
-			b.WriteString(",")
-		}
 		tid := lanes[i]
 		if s.Device {
 			tid += 1000
 		}
-		fmt.Fprintf(&b, `{"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}`,
-			s.Name, s.Start*1e6, s.Dur*1e6, s.Rank, tid)
+		spans[i] = obs.ChromeSpan{
+			Name: s.Name, Pid: s.Rank, Tid: tid,
+			TS: s.Start * 1e6, Dur: s.Dur * 1e6,
+		}
 	}
-	b.WriteString("]")
-	return b.String()
+	return obs.ChromeJSON(spans, nil)
 }

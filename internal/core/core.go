@@ -10,7 +10,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -92,6 +94,10 @@ type Executor interface {
 	Deactivate()
 	// Tracer returns this rank's statistics collector.
 	Tracer() *trace.Collector
+	// Obs returns this rank's observability recorder, or nil when
+	// structured tracing is disabled. Callers must nil-check; that one
+	// branch is the entire cost of disabled observation.
+	Obs() obs.Recorder
 }
 
 // Edge is a typed conduit from output terminals to input terminals. An
@@ -179,10 +185,30 @@ type Graph struct {
 	exec   Executor
 	tts    []*TT
 	sealed bool
+
+	// obs is the rank's recorder (nil disables tracing); the metric
+	// handles are resolved once here so events never take the registry
+	// lock on the hot path.
+	obs          obs.Recorder
+	readyBacklog *obs.Gauge
+	matchDelay   *obs.Histogram
+	taskLatency  *obs.Histogram
+	folds        *obs.Counter
 }
 
 // NewGraph creates an empty graph bound to a backend executor.
-func NewGraph(exec Executor) *Graph { return &Graph{exec: exec} }
+func NewGraph(exec Executor) *Graph {
+	g := &Graph{exec: exec}
+	if o := exec.Obs(); o != nil {
+		g.obs = o
+		m := o.Metrics()
+		g.readyBacklog = m.Gauge(obs.GaugeReadyBacklog)
+		g.matchDelay = m.Histogram(obs.HistMatchDelay)
+		g.taskLatency = m.Histogram(obs.HistTaskLatency)
+		g.folds = m.Counter(obs.CounterFolds)
+	}
+	return g
+}
 
 // Rank returns the local rank.
 func (g *Graph) Rank() int { return g.exec.Rank() }
@@ -300,6 +326,10 @@ type Task struct {
 	// Origin is the worker index that discovered the task, or -1;
 	// stealing backends use it for locality.
 	Origin int
+	// activatedNs is the observability clock reading when the task
+	// became ready (0 when tracing is disabled); the match→exec delay
+	// histogram is the gap to execution start.
+	activatedNs int64
 }
 
 // Execute runs the task body and retires the task's activity unit. The
@@ -308,6 +338,30 @@ func (t *Task) Execute(worker int) {
 	g := t.TT.g
 	defer g.exec.Deactivate()
 	ctx := &TaskContext{task: t, worker: worker}
-	t.TT.body(ctx)
+	if o := g.obs; o != nil {
+		t.executeObserved(o, ctx, worker)
+	} else {
+		t.TT.body(ctx)
+	}
 	g.exec.Tracer().TasksExecuted.Add(1)
+}
+
+// executeObserved wraps the body in exec-start/exec-end events and feeds
+// the latency and match-delay histograms.
+func (t *Task) executeObserved(o obs.Recorder, ctx *TaskContext, worker int) {
+	g := t.TT.g
+	key := fmt.Sprint(t.Key)
+	now := o.Now()
+	o.Record(obs.Event{Kind: obs.EvExecStart, Worker: int32(worker),
+		TT: int32(t.TT.id), TS: now, Name: t.TT.name, Key: key})
+	g.readyBacklog.Add(-1)
+	if t.activatedNs > 0 {
+		g.matchDelay.Observe(now - t.activatedNs)
+	}
+	start := time.Now()
+	t.TT.body(ctx)
+	dur := int64(time.Since(start))
+	g.taskLatency.Observe(dur)
+	o.Record(obs.Event{Kind: obs.EvExecEnd, Worker: int32(worker),
+		TT: int32(t.TT.id), TS: now + dur, Dur: dur, Name: t.TT.name, Key: key})
 }

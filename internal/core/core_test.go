@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/trace"
 )
@@ -21,7 +22,8 @@ type mockExec struct {
 	rank, size int
 	tracks     bool
 	tr         trace.Collector
-	deliveries int // remote Deliver/Broadcast sends, for dedup assertions
+	obs        obs.Recorder // nil unless a test attaches a recorder
+	deliveries int          // remote Deliver/Broadcast sends, for dedup assertions
 	mu         sync.Mutex
 }
 
@@ -65,6 +67,7 @@ func (e *mockExec) Broadcast(dests map[int]Delivery) {
 	}
 }
 func (e *mockExec) TracksData() bool         { return e.tracks }
+func (e *mockExec) Obs() obs.Recorder        { return e.obs }
 func (e *mockExec) SupportsSplitMD() bool    { return false }
 func (e *mockExec) Fence()                   {}
 func (e *mockExec) Activate()                {}

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // Edge-addressed send operations. Routing in TTG needs only the edge (its
 // consumer terminals define the destinations); the numbered-terminal
 // methods on TaskContext resolve their terminal's edge and land here. The
@@ -70,9 +72,16 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 
 	if len(remote) == 1 {
 		for dst, targets := range remote {
+			if o := g.obs; o != nil {
+				o.Record(obs.Event{Kind: obs.EvSend, Worker: int32(worker), TT: -1})
+			}
 			g.exec.Deliver(dst, Delivery{Targets: targets, Value: value, Mode: mode})
 		}
 	} else if len(remote) > 1 {
+		if o := g.obs; o != nil {
+			o.Record(obs.Event{Kind: obs.EvBroadcast, Worker: int32(worker), TT: -1,
+				Bytes: int64(len(remote))})
+		}
 		dests := make(map[int]Delivery, len(remote))
 		for dst, targets := range remote {
 			dests[dst] = Delivery{Targets: targets, Value: value, Mode: mode}

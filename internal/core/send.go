@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"repro/internal/obs"
 	"repro/internal/serde"
 	"repro/internal/trace"
 )
@@ -197,6 +198,15 @@ func (g *Graph) Inject(d Delivery) {
 // if it became ready.
 func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) {
 	spec := &tt.inputs[term]
+	if o := g.obs; o != nil {
+		o.Record(obs.Event{Kind: obs.EvTerminalMatch, Worker: int32(worker),
+			TT: int32(tt.id), Name: tt.name, Key: fmt.Sprint(key)})
+		if spec.Reducer != nil {
+			o.Record(obs.Event{Kind: obs.EvReduceFold, Worker: int32(worker),
+				TT: int32(tt.id), Name: tt.name})
+			g.folds.Add(1)
+		}
+	}
 	tt.mu.Lock()
 	sh := tt.getShellLocked(key)
 	if spec.Reducer == nil {
@@ -270,8 +280,22 @@ func (g *Graph) maybeReadyLocked(tt *TT, key any, sh *shell, worker int) {
 	delete(tt.shells, key)
 	tt.mu.Unlock()
 	t := &Task{TT: tt, Key: key, Inputs: sh.inputs, Priority: tt.Priority(key), Origin: worker}
+	g.recordActivate(t, worker)
 	g.exec.Activate()
 	g.exec.Submit(t)
+}
+
+// recordActivate emits the task-activate event and moves the ready-backlog
+// gauge; it also stamps the task for the match→exec delay histogram.
+func (g *Graph) recordActivate(t *Task, worker int) {
+	o := g.obs
+	if o == nil {
+		return
+	}
+	t.activatedNs = o.Now()
+	o.Record(obs.Event{Kind: obs.EvTaskActivate, Worker: int32(worker),
+		TT: int32(t.TT.id), TS: t.activatedNs, Name: t.TT.name, Key: fmt.Sprint(t.Key)})
+	g.readyBacklog.Add(1)
 }
 
 // HashKey hashes any registered key type; the default keymap uses it.

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ChromeSpan is one complete ("ph":"X") trace event in the Chrome
+// trace-event format: a named interval on process pid, thread tid,
+// starting at TS microseconds for Dur microseconds.
+type ChromeSpan struct {
+	Name    string
+	Pid     int
+	Tid     int
+	TS, Dur float64 // microseconds
+}
+
+// ChromeInstant is one instant ("ph":"i") trace event.
+type ChromeInstant struct {
+	Name string
+	Pid  int
+	Tid  int
+	TS   float64 // microseconds
+}
+
+// ChromeJSON renders spans and instants in the Chrome trace-event JSON
+// array format understood by chrome://tracing and Perfetto. Every backend
+// exports through this single writer, so sim-timeline traces and
+// real-backend traces share one schema. Names are JSON-escaped; negative
+// timestamps and durations are clamped to zero.
+func ChromeJSON(spans []ChromeSpan, instants []ChromeInstant) string {
+	var b strings.Builder
+	b.WriteString("[")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+	for _, s := range spans {
+		sep()
+		fmt.Fprintf(&b, `{"name":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}`,
+			jsonString(s.Name), clampNonNeg(s.TS), clampNonNeg(s.Dur), s.Pid, s.Tid)
+	}
+	for _, i := range instants {
+		sep()
+		fmt.Fprintf(&b, `{"name":%s,"ph":"i","s":"t","ts":%.3f,"pid":%d,"tid":%d}`,
+			jsonString(i.Name), clampNonNeg(i.TS), i.Pid, i.Tid)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func jsonString(s string) string {
+	out, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(out)
+}
+
+// ChromeJSONFromEvents converts an event stream (Session.Events) into a
+// Chrome trace: one process row per rank, one thread lane per worker, exec
+// spans from EvExecEnd records, and instants for steals, fences, and
+// broadcast forwards. Message events are omitted to keep traces loadable;
+// the analyzer reports them in aggregate.
+func ChromeJSONFromEvents(events []Event) string {
+	var spans []ChromeSpan
+	var instants []ChromeInstant
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvExecEnd:
+			name := ev.Name
+			if ev.Key != "" {
+				name = ev.Name + ev.Key
+			}
+			spans = append(spans, ChromeSpan{
+				Name: name,
+				Pid:  int(ev.Rank),
+				Tid:  int(ev.Worker),
+				TS:   float64(ev.TS-ev.Dur) / 1e3,
+				Dur:  float64(ev.Dur) / 1e3,
+			})
+		case EvSteal, EvFence, EvBcastForward:
+			instants = append(instants, ChromeInstant{
+				Name: ev.Kind.String(),
+				Pid:  int(ev.Rank),
+				Tid:  int(ev.Worker),
+				TS:   float64(ev.TS) / 1e3,
+			})
+		}
+	}
+	return ChromeJSON(spans, instants)
+}

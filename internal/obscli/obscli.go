@@ -1,0 +1,72 @@
+// Package obscli is the shared command-line surface of the observability
+// layer: every demo binary (potrf, fwapsp, bspmm, mra) and the benchmark
+// harness accepts the same -trace and -stats flags, creates an obs.Session
+// only when asked, and renders the same trace file and stats report. Keeping
+// the plumbing here means the apps stay one-flag-registration away from full
+// observability and all binaries agree on the output formats.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the observability command-line options after Register.
+type Flags struct {
+	// Trace is the Chrome-trace JSON output path ("" = no trace file).
+	Trace string
+	// Stats requests the post-run stats report on stdout.
+	Stats bool
+	// Capacity overrides the per-rank event-buffer length (0 = default).
+	Capacity int
+
+	trace *string
+	stats *bool
+	cap   *int
+}
+
+// Register installs -trace, -stats, and -obs-cap on fs (the default
+// command-line set when fs is nil). Call before flag.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	f.trace = fs.String("trace", "", "write a Chrome-trace JSON (chrome://tracing, Perfetto) of the run to this path")
+	f.stats = fs.Bool("stats", false, "print the observability report: per-template profiles, histograms, critical path")
+	f.cap = fs.Int("obs-cap", 0, "per-rank event-buffer capacity (0 = default)")
+	return f
+}
+
+// Session resolves the parsed flags into an observation session, or nil when
+// no observability output was requested (so instrumentation stays disabled).
+func (f *Flags) Session() *obs.Session {
+	f.Trace, f.Stats, f.Capacity = *f.trace, *f.stats, *f.cap
+	if f.Trace == "" && !f.Stats {
+		return nil
+	}
+	return obs.NewSession(obs.Config{Capacity: f.Capacity})
+}
+
+// Finish renders the requested outputs from a completed run: the Chrome
+// trace file (when -trace was given) and the stats report on stdout (when
+// -stats was given). No-op when s is nil.
+func (f *Flags) Finish(s *obs.Session) error {
+	if s == nil {
+		return nil
+	}
+	if f.Trace != "" {
+		events := s.Events()
+		if err := os.WriteFile(f.Trace, []byte(obs.ChromeJSONFromEvents(events)), 0o644); err != nil {
+			return fmt.Errorf("obscli: writing trace: %w", err)
+		}
+		fmt.Printf("trace: wrote %d events to %s\n", len(events), f.Trace)
+	}
+	if f.Stats {
+		fmt.Println(s.Report().String())
+	}
+	return nil
+}

@@ -3,6 +3,8 @@ package sched
 import (
 	"math/rand"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Policy selects the queueing discipline of a worker pool, mirroring
@@ -50,6 +52,13 @@ type Pool struct {
 	wg      sync.WaitGroup
 	started bool
 	n       int
+
+	// Observability (nil when disabled): queue-depth gauge moves on every
+	// submit/pop, steal events and the steal counter fire on successful
+	// deque steals.
+	obs    obs.Recorder
+	depth  *obs.Gauge
+	steals *obs.Counter
 }
 
 // NewPool builds a pool of n workers with the given policy. Call Start to
@@ -80,6 +89,17 @@ func NewPool(n int, policy Policy, run func(worker int, it Item)) *Pool {
 // Workers returns the number of worker goroutines.
 func (p *Pool) Workers() int { return p.n }
 
+// Observe attaches a recorder; call before Start. The pool then maintains
+// the scheduler queue-depth gauge and records steal events.
+func (p *Pool) Observe(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	p.obs = rec
+	p.depth = rec.Metrics().Gauge(obs.GaugeQueueDepth)
+	p.steals = rec.Metrics().Counter(obs.CounterSteals)
+}
+
 // Start launches the worker goroutines. It is idempotent.
 func (p *Pool) Start() {
 	p.mu.Lock()
@@ -98,6 +118,9 @@ func (p *Pool) Start() {
 // Submit enqueues work from outside the pool (e.g. the communication
 // thread or the rank main).
 func (p *Pool) Submit(it Item) {
+	if p.depth != nil {
+		p.depth.Add(1)
+	}
 	p.shared.Push(it)
 	p.wake()
 }
@@ -105,6 +128,9 @@ func (p *Pool) Submit(it Item) {
 // SubmitLocal enqueues work from within the run callback of the given
 // worker; under PolicySteal it lands on that worker's own deque.
 func (p *Pool) SubmitLocal(worker int, it Item) {
+	if p.depth != nil {
+		p.depth.Add(1)
+	}
 	if p.policy == PolicySteal && worker >= 0 && worker < len(p.deques) {
 		p.deques[worker].PushBottom(it)
 	} else {
@@ -153,6 +179,9 @@ func (p *Pool) worker(id int) {
 				continue
 			}
 		}
+		if p.depth != nil {
+			p.depth.Add(-1)
+		}
 		p.run(id, it)
 	}
 }
@@ -180,6 +209,11 @@ func (p *Pool) tryNext(id int, rng *rand.Rand) (Item, bool) {
 				continue
 			}
 			if it, ok := p.deques[v].Steal(); ok {
+				if p.obs != nil {
+					p.steals.Add(1)
+					p.obs.Record(obs.Event{Kind: obs.EvSteal, Worker: int32(id),
+						TT: -1, Bytes: int64(v)})
+				}
 				return it, true
 			}
 		}

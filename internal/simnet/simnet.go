@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config describes the virtual fabric.
@@ -40,7 +42,15 @@ type Network struct {
 	links  map[[2]int]*link
 	closed bool
 	wg     sync.WaitGroup
+
+	// inflight, when non-nil, gauges packets sent but not yet received
+	// across the whole fabric (the obs.GaugeInflightMsgs metric).
+	inflight *obs.Gauge
 }
+
+// Observe attaches the fabric-wide in-flight-message gauge, normally
+// Session.Global().Gauge(obs.GaugeInflightMsgs). Call before traffic flows.
+func (n *Network) Observe(g *obs.Gauge) { n.inflight = g }
 
 // New builds a virtual network with cfg.Ranks endpoints.
 func New(cfg Config) *Network {
@@ -94,6 +104,9 @@ func (n *Network) transferTime(bytes int) time.Duration {
 
 // deliver routes a packet, possibly through a delayed ordered link.
 func (n *Network) deliver(p Packet) {
+	if n.inflight != nil {
+		n.inflight.Add(1)
+	}
 	if n.cfg.Latency == 0 && n.cfg.BandwidthBps == 0 {
 		n.eps[p.Dst].inbox.push(p)
 		return
@@ -183,10 +196,22 @@ func (e *Endpoint) Send(dst int, kind uint8, data []byte) {
 
 // Recv blocks for the next packet; ok is false once the network is closed
 // and the inbox drained.
-func (e *Endpoint) Recv() (Packet, bool) { return e.inbox.pop() }
+func (e *Endpoint) Recv() (Packet, bool) {
+	p, ok := e.inbox.pop()
+	if ok && e.net.inflight != nil {
+		e.net.inflight.Add(-1)
+	}
+	return p, ok
+}
 
 // TryRecv returns a packet if one is immediately available.
-func (e *Endpoint) TryRecv() (Packet, bool) { return e.inbox.tryPop() }
+func (e *Endpoint) TryRecv() (Packet, bool) {
+	p, ok := e.inbox.tryPop()
+	if ok && e.net.inflight != nil {
+		e.net.inflight.Add(-1)
+	}
+	return p, ok
+}
 
 // RMAHandle names a registered memory region on some rank; it is small and
 // travels inside eager messages (the splitmd metadata phase).

@@ -16,6 +16,7 @@ type Collector struct {
 	MsgsSent         atomic.Int64
 	MsgsReceived     atomic.Int64
 	BytesSent        atomic.Int64
+	BytesReceived    atomic.Int64
 	DataCopies       atomic.Int64 // deep copies made for copy-on-send
 	CopiesAvoided    atomic.Int64 // borrows/moves that skipped a copy
 	SplitMDTransfers atomic.Int64 // payloads moved via the splitmd protocol
@@ -30,6 +31,7 @@ type Snapshot struct {
 	MsgsSent         int64
 	MsgsReceived     int64
 	BytesSent        int64
+	BytesReceived    int64
 	DataCopies       int64
 	CopiesAvoided    int64
 	SplitMDTransfers int64
@@ -45,6 +47,7 @@ func (c *Collector) Snapshot() Snapshot {
 		MsgsSent:         c.MsgsSent.Load(),
 		MsgsReceived:     c.MsgsReceived.Load(),
 		BytesSent:        c.BytesSent.Load(),
+		BytesReceived:    c.BytesReceived.Load(),
 		DataCopies:       c.DataCopies.Load(),
 		CopiesAvoided:    c.CopiesAvoided.Load(),
 		SplitMDTransfers: c.SplitMDTransfers.Load(),
@@ -62,6 +65,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		MsgsSent:         s.MsgsSent + o.MsgsSent,
 		MsgsReceived:     s.MsgsReceived + o.MsgsReceived,
 		BytesSent:        s.BytesSent + o.BytesSent,
+		BytesReceived:    s.BytesReceived + o.BytesReceived,
 		DataCopies:       s.DataCopies + o.DataCopies,
 		CopiesAvoided:    s.CopiesAvoided + o.CopiesAvoided,
 		SplitMDTransfers: s.SplitMDTransfers + o.SplitMDTransfers,
@@ -73,8 +77,8 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"tasks=%d msgs=%d/%d bytes=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d",
-		s.TasksExecuted, s.MsgsSent, s.MsgsReceived, s.BytesSent,
+		"tasks=%d msgs=%d/%d bytes=%d/%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d",
+		s.TasksExecuted, s.MsgsSent, s.MsgsReceived, s.BytesSent, s.BytesReceived,
 		s.DataCopies, s.CopiesAvoided, s.SplitMDTransfers, s.ArchiveTransfers,
 		s.BcastsForwarded, s.TasksStolen)
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/backend/madness"
 	"repro/internal/backend/parsec"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/simnet"
@@ -102,6 +103,12 @@ type Config struct {
 	HasPolicy bool
 	// EagerThreshold overrides the splitmd switch-over size (bytes).
 	EagerThreshold int
+	// Obs, when non-nil, enables the unified observability layer: each
+	// rank records task-lifecycle events and metrics into the session,
+	// readable after Run via Session.Report, Session.ChromeJSON, and
+	// Session.Events. Nil (the default) costs one branch per
+	// instrumentation point.
+	Obs *obs.Session
 }
 
 // Process is one rank's execution context inside Run.
@@ -120,6 +127,10 @@ func (pc *Process) Workers() int { return pc.p.Workers() }
 
 // Stats returns this rank's execution counters.
 func (pc *Process) Stats() trace.Snapshot { return pc.p.Tracer().Snapshot() }
+
+// Obs returns this rank's observability recorder (nil when the run was not
+// configured with an obs.Session).
+func (pc *Process) Obs() obs.Recorder { return pc.p.Obs() }
 
 // NewGraph creates an empty graph bound to this process.
 func (pc *Process) NewGraph() *Graph {
@@ -180,6 +191,7 @@ func Run(cfg Config, main func(pc *Process)) {
 		rt = madness.New(cfg.Ranks, madness.Config{
 			WorkersPerRank: cfg.WorkersPerRank,
 			Net:            cfg.Net,
+			Obs:            cfg.Obs,
 		})
 	default:
 		rt = parsec.New(cfg.Ranks, parsec.Config{
@@ -188,6 +200,7 @@ func Run(cfg Config, main func(pc *Process)) {
 			HasPolicy:      cfg.HasPolicy,
 			EagerThreshold: cfg.EagerThreshold,
 			Net:            cfg.Net,
+			Obs:            cfg.Obs,
 		})
 	}
 	rt.Run(func(p *backend.Proc) { main(&Process{p: p}) })
