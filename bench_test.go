@@ -8,7 +8,10 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/apps/bspmm"
@@ -16,11 +19,14 @@ import (
 	"repro/internal/apps/fw"
 	"repro/internal/backend/sim"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/sparse"
 	"repro/internal/tile"
+	"repro/internal/trace"
 	"repro/ttg"
 )
 
@@ -460,5 +466,273 @@ func BenchmarkRealFWAPSP(b *testing.B) {
 			app.Seed()
 			g.Fence()
 		})
+	}
+}
+
+// --- Hot-path microbenchmarks (sharded matching, lock-free stealing,
+// batch submission, pooled buffers) ---
+
+// benchExec is the minimal synchronous Executor the matching benchmarks
+// run against: Submit executes inline, so the measured cost is the match
+// path itself (shard lock, shell fill, dispatch) without worker handoff.
+type benchExec struct{ tr trace.Collector }
+
+func (e *benchExec) Rank() int           { return 0 }
+func (e *benchExec) Size() int           { return 1 }
+func (e *benchExec) Submit(t *core.Task) { t.Execute(0) }
+func (e *benchExec) SubmitBatch(ts []*core.Task) {
+	for _, t := range ts {
+		t.Execute(0)
+	}
+}
+func (e *benchExec) Deliver(int, core.Delivery)      {}
+func (e *benchExec) Broadcast(map[int]core.Delivery) {}
+func (e *benchExec) TracksData() bool                { return true }
+func (e *benchExec) Obs() obs.Recorder               { return nil }
+func (e *benchExec) SupportsSplitMD() bool           { return false }
+func (e *benchExec) Fence()                          {}
+func (e *benchExec) Activate()                       {}
+func (e *benchExec) Deactivate()                     {}
+func (e *benchExec) Tracer() *trace.Collector        { return &e.tr }
+
+// seedMatcher replicates the pre-sharding local-delivery path end to end —
+// the SendCopy value clone, one mutex guarding one map for the whole TT, a
+// fresh shell and inputs slice per task ID, and a fresh task object plus a
+// body call per completed match — as the contention baseline for
+// BenchmarkShardedMatch. The sharded runtime path replaces the single
+// mutex with striped locks and the per-task allocations with recycled
+// shells; everything else here is work both versions pay.
+type seedMatcher struct {
+	mu       sync.Mutex
+	shells   map[any]*seedShell
+	keymap   func(key any) int   // owner resolution, as in routeEdges
+	priomap  func(key any) int64 // task priority, as in maybeReady
+	body     func(t *seedTask)
+	inflight atomic.Int64 // termination counter (Activate/Deactivate)
+	ran      atomic.Int64 // tracer TasksExecuted
+	copies   atomic.Int64 // tracer DataCopies
+}
+
+type seedShell struct {
+	inputs    []any
+	satisfied uint64
+}
+
+type seedTask struct {
+	key    any
+	inputs []any
+	prio   int64
+}
+
+func (m *seedMatcher) send(key any, term int, v any) {
+	m.inflight.Add(1) // Activate
+	if m.keymap(key) != 0 {
+		panic("bench: key not local")
+	}
+	v = serde.CloneAny(v) // local SendCopy semantics, as in routeEdges
+	m.copies.Add(1)
+	m.mu.Lock()
+	sh := m.shells[key]
+	if sh == nil {
+		sh = &seedShell{inputs: make([]any, 2)}
+		m.shells[key] = sh
+	}
+	sh.inputs[term] = v
+	sh.satisfied |= 1 << uint(term)
+	if sh.satisfied != 3 {
+		m.mu.Unlock()
+		m.inflight.Add(-1) // Deactivate
+		return
+	}
+	delete(m.shells, key)
+	m.mu.Unlock()
+	m.body(&seedTask{key: key, inputs: sh.inputs, prio: m.priomap(key)})
+	m.ran.Add(1)
+	m.inflight.Add(-1) // Deactivate
+}
+
+// BenchmarkShardedMatch measures two-input task matching under concurrent
+// injectors: each op delivers both halves of one unique task ID. The
+// "sharded" variant is the real runtime path (striped locks, recycled
+// shells, inline execute); "mutexmap" replicates the seed's single-mutex
+// map. The sharded table should win clearly at 8 injectors.
+func BenchmarkShardedMatch(b *testing.B) {
+	for _, inj := range []int{1, 8} {
+		b.Run(fmt.Sprintf("sharded/injectors=%d", inj), func(b *testing.B) {
+			g := core.NewGraph(&benchExec{})
+			e0 := core.NewEdge("m0")
+			e1 := core.NewEdge("m1")
+			g.AddTT(core.TTSpec{
+				Name:   "join",
+				Inputs: []core.InputSpec{{Edge: e0}, {Edge: e1}},
+				Body:   func(*core.TaskContext) {},
+				Keymap: func(any) int { return 0 },
+			})
+			g.Seal()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := (b.N + inj - 1) / inj
+			for w := 0; w < inj; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					hi := (w + 1) * per
+					if hi > b.N {
+						hi = b.N
+					}
+					for k := w * per; k < hi; k++ {
+						key := serde.Int2{k, 0}
+						g.Seed(e0, key, 1)
+						g.Seed(e1, key, 1)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		b.Run(fmt.Sprintf("mutexmap/injectors=%d", inj), func(b *testing.B) {
+			m := &seedMatcher{
+				shells:  make(map[any]*seedShell),
+				keymap:  func(any) int { return 0 },
+				priomap: func(any) int64 { return 0 },
+				body:    func(*seedTask) {},
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := (b.N + inj - 1) / inj
+			for w := 0; w < inj; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					hi := (w + 1) * per
+					if hi > b.N {
+						hi = b.N
+					}
+					for k := w * per; k < hi; k++ {
+						key := serde.Int2{k, 0}
+						m.send(key, 0, 1)
+						m.send(key, 1, 1)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// stealDeque is the common surface of the two work-stealing deques.
+type stealDeque interface {
+	PushBottom(sched.Item)
+	PopBottom() (sched.Item, bool)
+	Steal() (sched.Item, bool)
+}
+
+// benchSteal has one owner pushing (and occasionally popping) b.N items
+// while `thieves` goroutines steal concurrently — the shape of a loaded
+// worker being drained by idle peers.
+func benchSteal(b *testing.B, d stealDeque, thieves int) {
+	b.ReportAllocs()
+	var consumed atomic.Int64
+	n := int64(b.N)
+	var wg sync.WaitGroup
+	for t := 0; t < thieves; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < n {
+				if _, ok := d.Steal(); ok {
+					consumed.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(sched.Item{})
+		if i&7 == 0 {
+			if _, ok := d.PopBottom(); ok {
+				consumed.Add(1)
+			}
+		}
+	}
+	for consumed.Load() < n {
+		if _, ok := d.PopBottom(); ok {
+			consumed.Add(1)
+		}
+	}
+	b.StopTimer()
+	wg.Wait()
+}
+
+// BenchmarkChaseLevSteal compares the lock-free Chase-Lev deque against
+// the seed's mutex deque under 8 concurrent thieves.
+func BenchmarkChaseLevSteal(b *testing.B) {
+	const thieves = 8
+	b.Run("chaselev", func(b *testing.B) { benchSteal(b, sched.NewDeque(), thieves) })
+	b.Run("mutex", func(b *testing.B) { benchSteal(b, sched.NewMutexDeque(), thieves) })
+}
+
+// BenchmarkSubmitBatch measures fan-out submission into a stealing pool:
+// chunks of 64 ready tasks submitted one Push per task versus one
+// PushBatch per chunk.
+func BenchmarkSubmitBatch(b *testing.B) {
+	const chunk = 64
+	run := func(b *testing.B, batched bool) {
+		var done sync.WaitGroup
+		p := sched.NewPool(8, sched.PolicySteal, func(worker int, it sched.Item) { done.Done() })
+		p.Start()
+		defer p.Stop()
+		buf := make([]sched.Item, chunk)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += chunk {
+			n := chunk
+			if i+n > b.N {
+				n = b.N - i
+			}
+			done.Add(n)
+			if batched {
+				p.SubmitBatch(buf[:n])
+			} else {
+				for j := 0; j < n; j++ {
+					p.Submit(buf[j])
+				}
+			}
+		}
+		done.Wait()
+	}
+	b.Run("singles", func(b *testing.B) { run(b, false) })
+	b.Run("batch", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPooledTileClone guards the steady-state allocation profile of
+// the tile pool: Clone draws from the pool, Release returns, so after
+// warmup each iteration should be ~0 allocs/op (versus one 128 KiB
+// payload allocation per clone without pooling).
+func BenchmarkPooledTileClone(b *testing.B) {
+	t := tile.New(128, 128)
+	b.SetBytes(int64(t.PayloadSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := t.Clone()
+		c.Release()
+	}
+}
+
+// BenchmarkPooledSerdeEncode guards the encode-buffer pool: GetBuffer /
+// Release recycle the backing array across iterations.
+func BenchmarkPooledSerdeEncode(b *testing.B) {
+	t := tile.New(64, 64)
+	b.SetBytes(int64(t.PayloadSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := serde.GetBuffer(256)
+		serde.EncodeAny(buf, t)
+		buf.Release()
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/simnet"
@@ -151,6 +152,12 @@ type Proc struct {
 	// path lock-free.
 	rec      *obs.Rank
 	msgBytes *obs.Histogram
+
+	// snaps tracks RMA handles whose registered object is a runtime-owned
+	// splitmd snapshot (SendCopy); on release ack the object goes back to
+	// its pool instead of waiting for the GC.
+	snapMu sync.Mutex
+	snaps  map[uint64]struct{}
 }
 
 func newProc(rt *Runtime, rank int) *Proc {
@@ -165,6 +172,7 @@ func newProc(rt *Runtime, rank int) *Proc {
 	p.pool = sched.NewPool(rt.opts.WorkersPerRank, rt.opts.Policy, func(w int, it sched.Item) {
 		it.Value.(*core.Task).Execute(w)
 	})
+	p.pool.Trace(&p.tr)
 	if p.rec != nil {
 		p.pool.Observe(p.rec)
 	}
@@ -260,6 +268,29 @@ func (p *Proc) Submit(t *core.Task) {
 	}
 }
 
+// SubmitBatch implements core.Executor: a fan-out of tasks reaches the
+// scheduler under one queue synchronization. When every task shares the
+// discovering worker (the common case — one body sent to N successors),
+// the whole batch lands on that worker's deque in a single push.
+func (p *Proc) SubmitBatch(ts []*core.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	items := make([]sched.Item, len(ts))
+	origin := ts[0].Origin
+	for i, t := range ts {
+		items[i] = sched.Item{Priority: t.Priority, Value: t}
+		if t.Origin != origin {
+			origin = -1
+		}
+	}
+	if origin >= 0 {
+		p.pool.SubmitLocalBatch(origin, items)
+	} else {
+		p.pool.SubmitBatch(items)
+	}
+}
+
 // Deliver implements core.Executor: one delivery to one remote rank.
 func (p *Proc) Deliver(dest int, d core.Delivery) {
 	if dest == p.rank {
@@ -271,7 +302,7 @@ func (p *Proc) Deliver(dest int, d core.Delivery) {
 			return
 		}
 	}
-	b := serde.NewBuffer(256)
+	b := serde.GetBuffer(256)
 	core.EncodeHeader(b, d)
 	hasValue := d.Control == core.CtrlNone
 	b.PutBool(hasValue)
@@ -279,22 +310,34 @@ func (p *Proc) Deliver(dest int, d core.Delivery) {
 		serde.EncodeAny(b, d.Value)
 		p.tr.ArchiveTransfers.Add(1)
 	}
-	p.send(dest, kData, b.Bytes())
+	// Detach: the network owns the bytes; the receiver recycles them.
+	p.send(dest, kData, b.Detach())
 }
 
 // deliverSplit performs splitmd phase 1: eager metadata plus an RMA handle
 // to the registered source object; the receiver fetches the payload.
 func (p *Proc) deliverSplit(dest int, d core.Delivery) {
 	src := d.Value.(serde.SplitMD)
+	snapshot := false
 	if d.Mode == core.SendCopy {
 		// The sender may mutate after send; snapshot for the deferred read.
 		src = serde.CloneAny(d.Value).(serde.SplitMD)
 		p.tr.DataCopies.Add(1)
+		snapshot = true
 	} else {
 		p.tr.CopiesAvoided.Add(1)
 	}
 	h := p.ep.RegisterObject(src)
-	b := serde.NewBuffer(256)
+	if snapshot {
+		// Runtime-owned copy: reclaimable when the receiver acks.
+		p.snapMu.Lock()
+		if p.snaps == nil {
+			p.snaps = map[uint64]struct{}{}
+		}
+		p.snaps[h.ID] = struct{}{}
+		p.snapMu.Unlock()
+	}
+	b := serde.GetBuffer(256)
 	core.EncodeHeader(b, d)
 	b.PutUvarint(uint64(serde.WireTagOf(d.Value)))
 	b.PutBytes(src.SplitMetadata())
@@ -302,7 +345,7 @@ func (p *Proc) deliverSplit(dest int, d core.Delivery) {
 	b.PutRaw(simnet.EncodeHandle(nil, h))
 	p.tr.SplitMDTransfers.Add(1)
 	p.tr.BytesSent.Add(int64(src.PayloadBytes())) // the RMA-fetched payload
-	p.send(dest, kSplit, b.Bytes())
+	p.send(dest, kSplit, b.Detach())
 }
 
 // Broadcast implements core.Executor.
@@ -322,7 +365,7 @@ func (p *Proc) Broadcast(dests map[int]core.Delivery) {
 		value = d.Value
 	}
 	order := collective.Order(p.rank, participants)
-	b := serde.NewBuffer(512)
+	b := serde.GetBuffer(512)
 	b.PutU32(uint32(p.rank))
 	b.PutUvarint(uint64(len(order)))
 	for _, r := range order {
@@ -335,7 +378,9 @@ func (p *Proc) Broadcast(dests map[int]core.Delivery) {
 	}
 	serde.EncodeAny(b, value)
 	p.tr.ArchiveTransfers.Add(1)
-	data := b.Bytes()
+	// Detach, not Release: the same array is shared by every child send
+	// and forwarded down the tree, so it is never recycled.
+	data := b.Detach()
 	collective.Observe(p.Obs(), order, len(data))
 	for _, child := range collective.Fanout(order, p.rank) {
 		p.send(child, kBcast, data)
@@ -379,6 +424,9 @@ func (p *Proc) commLoop() {
 			}
 			p.graph.Inject(d)
 			p.det.Deactivate()
+			// Decoding copies out of the packet, so the wire buffer is
+			// dead here; donate it to the encode pool.
+			serde.Recycle(pkt.Data)
 		case kSplit:
 			<-p.ready
 			p.det.Activate()
@@ -393,11 +441,26 @@ func (p *Proc) commLoop() {
 			payloadBytes := int(b.Uvarint())
 			h, _ := simnet.DecodeHandle(b.RawOut(12))
 			// Phase 2 runs asynchronously, like an RMA engine completing
-			// the get and firing a completion callback.
+			// the get and firing a completion callback. Everything it needs
+			// was copied out (meta via BytesOut), so recycle the packet.
+			serde.Recycle(pkt.Data)
 			go p.fetchSplit(d, tag, meta, payloadBytes, h, pkt.Src)
 		case kSplitAck:
 			h, _ := simnet.DecodeHandle(pkt.Data)
-			p.ep.Deregister(h)
+			obj := p.ep.Deregister(h)
+			p.snapMu.Lock()
+			_, snap := p.snaps[h.ID]
+			if snap {
+				delete(p.snaps, h.ID)
+			}
+			p.snapMu.Unlock()
+			if snap {
+				// The object was the runtime's own snapshot; nobody else
+				// holds it, so pooled payloads can go straight back.
+				if r, ok := obj.(pool.Releasable); ok {
+					r.Release()
+				}
+			}
 		case kBcast:
 			<-p.ready
 			p.det.Activate()

@@ -246,6 +246,15 @@ func (p *Proc) Submit(t *core.Task) {
 	p.enqueue(t)
 }
 
+// SubmitBatch implements core.Executor. The simulator keeps per-task
+// submission (each enqueue is an instantaneous virtual-time event and may
+// be captured in an effect buffer), so the batch degenerates to a loop.
+func (p *Proc) SubmitBatch(ts []*core.Task) {
+	for _, t := range ts {
+		p.Submit(t)
+	}
+}
+
 func (p *Proc) enqueue(t *core.Task) {
 	if dc := p.rt.cfg.DeviceCost; dc != nil && p.rt.cfg.Machine.Accelerators > 0 {
 		if _, offload := dc(t); offload {
@@ -278,6 +287,8 @@ func (p *Proc) dispatchDevices() {
 
 func (p *Proc) completeDevice(t *core.Task) {
 	rt := p.rt
+	// Execute may recycle the task (shell reuse); read identity up front.
+	name := t.TT.Name()
 	rt.curExtra = 0
 	var buf []func()
 	rt.effectBuf = &buf
@@ -286,7 +297,7 @@ func (p *Proc) completeDevice(t *core.Task) {
 	extra := rt.curExtra
 	rt.curExtra = 0
 	if extra > 0 {
-		rt.recordExtra(t.TT.Name()+"@dev", extra)
+		rt.recordExtra(name+"@dev", extra)
 	}
 	finish := func() {
 		for _, fn := range buf {
@@ -327,6 +338,8 @@ func (p *Proc) dispatch() {
 // memcpy time, as they would in a real run.
 func (p *Proc) complete(t *core.Task) {
 	rt := p.rt
+	// Execute may recycle the task (shell reuse); read identity up front.
+	name := t.TT.Name()
 	rt.curExtra = 0
 	var buf []func()
 	rt.effectBuf = &buf
@@ -335,7 +348,7 @@ func (p *Proc) complete(t *core.Task) {
 	extra := rt.curExtra
 	rt.curExtra = 0
 	if extra > 0 {
-		rt.recordExtra(t.TT.Name(), extra)
+		rt.recordExtra(name, extra)
 	}
 	finish := func() {
 		for _, fn := range buf {

@@ -9,7 +9,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -76,6 +75,10 @@ type Executor interface {
 	// Submit schedules a ready task; the backend must eventually call
 	// Task.Execute exactly once.
 	Submit(t *Task)
+	// SubmitBatch schedules a run of tasks that became ready together (a
+	// fan-out); backends should enqueue them under one synchronization.
+	// Each task must still be executed exactly once.
+	SubmitBatch(ts []*Task)
 	// Deliver transmits d to dest (never the local rank).
 	Deliver(dest int, d Delivery)
 	// Broadcast transmits one value to targets on several ranks; backends
@@ -165,17 +168,8 @@ type TT struct {
 	keymap  func(key any) int
 	priomap func(key any) int64
 
-	mu     sync.Mutex
-	shells map[any]*shell
-}
-
-// shell accumulates the inputs of one task instance until all terminals
-// are satisfied.
-type shell struct {
-	inputs    []any
-	satisfied uint64
-	counts    []int
-	targets   []int // expected stream size per terminal; -1 unknown
+	// match is the sharded (task ID → shell) table; see match.go.
+	match matchTable
 }
 
 // Graph is one rank's instance of the template task graph. Every rank of
@@ -243,8 +237,8 @@ func (g *Graph) AddTT(spec TTSpec) *TT {
 		body:    spec.Body,
 		keymap:  spec.Keymap,
 		priomap: spec.Priomap,
-		shells:  map[any]*shell{},
 	}
+	tt.match.init()
 	if tt.keymap == nil {
 		tt.keymap = func(key any) int { return HashKey(key) % g.exec.Size() }
 	}
@@ -312,9 +306,7 @@ func (tt *TT) Priority(key any) int64 {
 // PendingShells reports how many partially filled task instances exist
 // (diagnostics; a nonzero value after a fence indicates a hung graph).
 func (tt *TT) PendingShells() int {
-	tt.mu.Lock()
-	defer tt.mu.Unlock()
-	return len(tt.shells)
+	return tt.match.pending()
 }
 
 // Task is one ready task instance.
@@ -330,10 +322,15 @@ type Task struct {
 	// became ready (0 when tracing is disabled); the match→exec delay
 	// histogram is the gap to execution start.
 	activatedNs int64
+	// sh is the matching shell this task was instantiated from (nil for
+	// Invoke-created tasks); Execute recycles it when the body is done.
+	sh *shell
 }
 
 // Execute runs the task body and retires the task's activity unit. The
 // backend must call it exactly once, passing the executing worker's index.
+// After Execute returns, the task (and its shell) may be recycled: the
+// backend and the body must not retain t or its TaskContext.
 func (t *Task) Execute(worker int) {
 	g := t.TT.g
 	defer g.exec.Deactivate()
@@ -344,6 +341,11 @@ func (t *Task) Execute(worker int) {
 		t.TT.body(ctx)
 	}
 	g.exec.Tracer().TasksExecuted.Add(1)
+	if sh := t.sh; sh != nil {
+		// Last use of t: t is the shell's embedded task, and release hands
+		// the shell (t included) back to the matching table for reuse.
+		sh.release()
+	}
 }
 
 // executeObserved wraps the body in exec-start/exec-end events and feeds

@@ -42,6 +42,11 @@ func (e *mockExec) Size() int { return e.size }
 func (e *mockExec) Submit(t *Task) {
 	t.Execute(0)
 }
+func (e *mockExec) SubmitBatch(ts []*Task) {
+	for _, t := range ts {
+		t.Execute(0)
+	}
+}
 func (e *mockExec) Deliver(dest int, d Delivery) {
 	e.mu.Lock()
 	e.deliveries++

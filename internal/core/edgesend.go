@@ -46,8 +46,13 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 		c   consumer
 		key any
 	}
-	var locals []localTarget
-	remote := map[int][]TermTarget{}
+	// Small sends (the overwhelmingly common case: one edge, one key, one
+	// or two consumers) must not allocate for bookkeeping: the local-target
+	// list starts on a stack buffer and the remote map is built lazily,
+	// only when a key actually maps to another rank.
+	var localBuf [8]localTarget
+	locals := localBuf[:0]
+	var remote map[int][]TermTarget
 	me := g.exec.Rank()
 
 	for i, e := range edges {
@@ -64,8 +69,13 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 				}
 				perRank[dst] = append(perRank[dst], k)
 			}
-			for dst, ks := range perRank {
-				remote[dst] = append(remote[dst], TermTarget{TT: cons.tt.id, Term: cons.term, Keys: ks})
+			if perRank != nil {
+				if remote == nil {
+					remote = map[int][]TermTarget{}
+				}
+				for dst, ks := range perRank {
+					remote[dst] = append(remote[dst], TermTarget{TT: cons.tt.id, Term: cons.term, Keys: ks})
+				}
 			}
 		}
 	}
@@ -94,6 +104,12 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 	if mode == SendBorrow && !g.exec.TracksData() {
 		effMode = SendCopy
 	}
+	// Tasks made ready by this send are collected and submitted as one
+	// batch, so a fan-out of N successors pays one scheduler handoff. The
+	// first ready task is held in a local so the by-far-common outcomes
+	// (zero or one task ready) never allocate a slice.
+	var first *Task
+	var extra []*Task
 	for idx, lt := range locals {
 		var v any
 		switch effMode {
@@ -110,6 +126,22 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 				v = serdeClone(value, tr)
 			}
 		}
-		g.deliverLocal(lt.c.tt, lt.c.term, lt.key, v, worker)
+		if t := g.deliverLocal(lt.c.tt, lt.c.term, lt.key, v, worker); t != nil {
+			if first == nil {
+				first = t
+			} else {
+				extra = append(extra, t)
+			}
+		}
 	}
+	if first == nil {
+		return
+	}
+	if len(extra) == 0 {
+		g.submitOne(first, worker)
+		return
+	}
+	all := make([]*Task, 0, 1+len(extra))
+	all = append(append(all, first), extra...)
+	g.submitReady(all, worker)
 }

@@ -23,9 +23,7 @@ func (tt *TT) Invoke(key any, inputs ...any) {
 		panic(fmt.Sprintf("core: Invoke on %q for key %v owned by rank %d, not %d", tt.name, key, owner, g.exec.Rank()))
 	}
 	t := &Task{TT: tt, Key: key, Inputs: inputs, Priority: tt.Priority(key), Origin: -1}
-	g.recordActivate(t, -1)
-	g.exec.Activate()
-	g.exec.Submit(t)
+	g.submitOne(t, -1)
 }
 
 // Dot renders the template task graph in Graphviz DOT form — nodes are

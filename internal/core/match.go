@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/serde"
+)
+
+// Sharded task matching. Every send funnels through its TT's matching
+// table to pair (task ID, value) messages with the accumulating shell for
+// that ID; with one mutex per TT (the seed design) every concurrent send
+// to the same template serializes even when the task IDs differ. The
+// table is instead split into power-of-two shards selected by a cheap
+// task-ID hash: sends to different IDs almost always hit different shards
+// and proceed in parallel, and each shard keeps a free list of retired
+// shells so steady-state matching allocates nothing.
+
+// matchShardBits caps the shard count; shardCount picks the real value
+// from GOMAXPROCS at TT construction.
+const (
+	minMatchShards = 8
+	maxMatchShards = 256
+)
+
+// shardCount is the shard-count heuristic: 4× the processor count (so
+// that even an adversarial key distribution leaves most lock acquisitions
+// uncontended), rounded up to a power of two and clamped to [8, 256].
+func shardCount() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < minMatchShards {
+		n = minMatchShards
+	}
+	if n > maxMatchShards {
+		n = maxMatchShards
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	return 1 << bits.Len(uint(n-1))
+}
+
+// matchShard is one stripe of a TT's matching table. The padding keeps
+// each shard's mutex on its own cache line(s) so that shards locked by
+// different workers do not false-share.
+type matchShard struct {
+	mu     sync.Mutex
+	shells map[any]*shell
+	free   *shell // retired shells for reuse, linked by shell.next
+	_      [104]byte
+}
+
+// matchTable is the sharded shell map of one TT.
+type matchTable struct {
+	shards []matchShard
+	mask   uint64
+}
+
+func (m *matchTable) init() {
+	n := shardCount()
+	m.shards = make([]matchShard, n)
+	m.mask = uint64(n - 1)
+	for i := range m.shards {
+		m.shards[i].shells = map[any]*shell{}
+	}
+}
+
+// shard selects the stripe for a task ID. Shard choice is rank-local, so
+// it only needs to be a stable function within this process.
+func (m *matchTable) shard(key any) *matchShard {
+	return &m.shards[taskHash(key)&m.mask]
+}
+
+// pending counts partially filled shells across all shards.
+func (m *matchTable) pending() int {
+	n := 0
+	for i := range m.shards {
+		sp := &m.shards[i]
+		sp.mu.Lock()
+		n += len(sp.shells)
+		sp.mu.Unlock()
+	}
+	return n
+}
+
+// shell accumulates the inputs of one task instance until all terminals
+// are satisfied. Shells are recycled through their shard's free list: the
+// embedded Task is what gets submitted (no per-task allocation), and
+// Task.Execute returns the shell once the body has run.
+type shell struct {
+	inputs    []any
+	satisfied uint64
+	counts    []int
+	targets   []int // expected stream size per terminal; -1 unknown
+
+	next  *shell      // free-list link (owned by shard)
+	shard *matchShard // home shard, for release
+	task  Task        // submitted in place when the shell completes
+}
+
+// release scrubs the shell and returns it to its shard's free list. Called
+// from Task.Execute after the body has run; the shell (and the task
+// embedded in it) must not be touched afterwards.
+func (sh *shell) release() {
+	for i := range sh.inputs {
+		sh.inputs[i] = nil
+	}
+	for i := range sh.counts {
+		sh.counts[i] = 0
+	}
+	sh.satisfied = 0
+	sh.task = Task{}
+	sp := sh.shard
+	sp.mu.Lock()
+	sh.next = sp.free
+	sp.free = sh
+	sp.mu.Unlock()
+}
+
+// splitmix64 finalizer: cheap, well-mixed, good enough to spread
+// sequential tuple IDs across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const hashSeed = 0x9e3779b97f4a7c15
+
+// taskHash hashes a task ID. The common tuple IDs (serde.Int1..Int5, int)
+// and strings are hashed inline without serialization; anything else
+// falls back to hashing its serde encoding with a pooled buffer.
+func taskHash(key any) uint64 {
+	switch k := key.(type) {
+	case serde.Int1:
+		return mix64(uint64(k[0]) ^ hashSeed)
+	case serde.Int2:
+		return mix64(mix64(uint64(k[0])^hashSeed) ^ uint64(k[1]))
+	case serde.Int3:
+		return mix64(mix64(mix64(uint64(k[0])^hashSeed)^uint64(k[1])) ^ uint64(k[2]))
+	case serde.Int4:
+		h := uint64(hashSeed)
+		for _, x := range k {
+			h = mix64(h ^ uint64(x))
+		}
+		return h
+	case serde.Int5:
+		h := uint64(hashSeed)
+		for _, x := range k {
+			h = mix64(h ^ uint64(x))
+		}
+		return h
+	case int:
+		return mix64(uint64(k) ^ hashSeed)
+	case int64:
+		return mix64(uint64(k) ^ hashSeed)
+	case int32:
+		return mix64(uint64(k) ^ hashSeed)
+	case uint64:
+		return mix64(k ^ hashSeed)
+	case string:
+		return fnv64(k)
+	case serde.Void, struct{}:
+		return mix64(hashSeed)
+	default:
+		return taskHashSlow(key)
+	}
+}
+
+// fnv64 is an inline FNV-1a over a string (no hash.Hash allocation).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// taskHashSlow hashes an arbitrary registered key type through its serde
+// encoding. The encode buffer is pooled, so even this path does not
+// allocate at steady state.
+func taskHashSlow(key any) uint64 {
+	b := serde.GetBuffer(16)
+	serde.EncodeAny(b, key)
+	h := uint64(14695981039346656037)
+	for _, c := range b.Bytes() {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	b.Release()
+	return h
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/obs"
 	"repro/internal/serde"
@@ -43,7 +42,12 @@ func (c *TaskContext) Send(term int, key, value any) {
 // SendMode is Send with explicit data-passing semantics.
 func (c *TaskContext) SendMode(term int, key, value any, mode SendMode) {
 	g := c.task.TT.g
-	g.route(c.task.TT, c.worker, []int{term}, [][]any{{key}}, value, mode)
+	// Stack-backed containers (route/routeEdges do not retain them) keep
+	// the hottest send shape — one terminal, one key — allocation-free.
+	tb := [1]int{term}
+	kb := [1]any{key}
+	ksb := [1][]any{kb[:]}
+	g.route(c.task.TT, c.worker, tb[:], ksb[:], value, mode)
 }
 
 // Broadcast emits one value to a single output terminal for several task
@@ -55,7 +59,9 @@ func (c *TaskContext) Broadcast(term int, keys []any, value any) {
 // BroadcastMode is Broadcast with explicit semantics.
 func (c *TaskContext) BroadcastMode(term int, keys []any, value any, mode SendMode) {
 	g := c.task.TT.g
-	g.route(c.task.TT, c.worker, []int{term}, [][]any{keys}, value, mode)
+	tb := [1]int{term}
+	ksb := [1][]any{keys}
+	g.route(c.task.TT, c.worker, tb[:], ksb[:], value, mode)
 }
 
 // BroadcastMulti emits one value to several output terminals, each with its
@@ -95,7 +101,12 @@ func (g *Graph) Seed(e *Edge, key, value any) {
 	}
 	g.exec.Activate()
 	defer g.exec.Deactivate()
-	g.routeEdge(e, -1, [][]any{{key}}, value)
+	// Stack-backed key containers: routeEdges does not retain them, so
+	// escape analysis keeps the per-seed bookkeeping off the heap.
+	kb := [1]any{key}
+	ksb := [1][]any{kb[:]}
+	eb := [1]*Edge{e}
+	g.routeEdges(-1, eb[:], ksb[:], value, SendCopy)
 }
 
 // SeedBroadcast injects one value for several task IDs.
@@ -126,7 +137,15 @@ func (g *Graph) SetStreamSizeSeed(e *Edge, key any, n int) {
 // route resolves output terminals to their edges and delegates to
 // routeEdges, which implements the fan-out and copy semantics.
 func (g *Graph) route(tt *TT, worker int, terms []int, keys [][]any, value any, mode SendMode) {
-	edges := make([]*Edge, len(terms))
+	// Sends target at most a handful of terminals; resolve them on a stack
+	// buffer so the per-send edge list costs no allocation.
+	var ebuf [4]*Edge
+	var edges []*Edge
+	if len(terms) <= len(ebuf) {
+		edges = ebuf[:len(terms)]
+	} else {
+		edges = make([]*Edge, len(terms))
+	}
 	for i, term := range terms {
 		if term < 0 || term >= len(tt.outputs) {
 			panic(fmt.Sprintf("core: TT %q has no output terminal %d", tt.name, term))
@@ -160,7 +179,9 @@ func (g *Graph) controlEdge(e *Edge, worker int, key any, ctrl ControlKind, n in
 	for _, cons := range e.consumers {
 		dst := cons.tt.keymap(key)
 		if dst == me {
-			g.applyControl(cons.tt, cons.term, key, ctrl, n, worker)
+			if t := g.applyControl(cons.tt, cons.term, key, ctrl, n, worker); t != nil {
+				g.submitOne(t, worker)
+			}
 			continue
 		}
 		g.exec.Deliver(dst, Delivery{
@@ -174,11 +195,24 @@ func (g *Graph) controlEdge(e *Edge, worker int, key any, ctrl ControlKind, n in
 // Inject applies a delivery that arrived from the network; backends call it
 // from their communication threads. The delivered value is freshly owned.
 func (g *Graph) Inject(d Delivery) {
+	// As in routeEdges, the common delivery (one target, one key, at most
+	// one task made ready) must not allocate a slice for the batch.
+	var first *Task
+	var extra []*Task
+	add := func(t *Task) {
+		if first == nil {
+			first = t
+		} else {
+			extra = append(extra, t)
+		}
+	}
 	for _, tgt := range d.Targets {
 		tt := g.tts[tgt.TT]
 		for i, key := range tgt.Keys {
 			if d.Control != CtrlNone {
-				g.applyControl(tt, tgt.Term, key, d.Control, d.N, -1)
+				if t := g.applyControl(tt, tgt.Term, key, d.Control, d.N, -1); t != nil {
+					add(t)
+				}
 				continue
 			}
 			v := d.Value
@@ -189,14 +223,26 @@ func (g *Graph) Inject(d Delivery) {
 				v = serde.CloneAny(d.Value)
 				g.exec.Tracer().DataCopies.Add(1)
 			}
-			g.deliverLocal(tt, tgt.Term, key, v, -1)
+			if t := g.deliverLocal(tt, tgt.Term, key, v, -1); t != nil {
+				add(t)
+			}
 		}
 	}
+	if first == nil {
+		return
+	}
+	if len(extra) == 0 {
+		g.submitOne(first, -1)
+		return
+	}
+	all := make([]*Task, 0, 1+len(extra))
+	all = append(append(all, first), extra...)
+	g.submitReady(all, -1)
 }
 
-// deliverLocal lands a value on one terminal instance and submits the task
-// if it became ready.
-func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) {
+// deliverLocal lands a value on one terminal instance and returns the task
+// if it became ready (the caller submits, possibly batched).
+func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) *Task {
 	spec := &tt.inputs[term]
 	if o := g.obs; o != nil {
 		o.Record(obs.Event{Kind: obs.EvTerminalMatch, Worker: int32(worker),
@@ -207,11 +253,12 @@ func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) {
 			g.folds.Add(1)
 		}
 	}
-	tt.mu.Lock()
-	sh := tt.getShellLocked(key)
+	sp := tt.match.shard(key)
+	sp.mu.Lock()
+	sh := tt.getShellLocked(sp, key)
 	if spec.Reducer == nil {
 		if sh.satisfied&(1<<uint(term)) != 0 {
-			tt.mu.Unlock()
+			sp.mu.Unlock()
 			panic(fmt.Sprintf("core: TT %q key %v terminal %d received a second message (non-streaming)", tt.name, key, term))
 		}
 		sh.inputs[term] = value
@@ -223,16 +270,18 @@ func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) {
 			sh.satisfied |= 1 << uint(term)
 		}
 	}
-	g.maybeReadyLocked(tt, key, sh, worker)
+	return g.maybeReadyLocked(tt, key, sp, sh, worker)
 }
 
-// applyControl handles finalize/set-size for a streaming terminal instance.
-func (g *Graph) applyControl(tt *TT, term int, key any, ctrl ControlKind, n int, worker int) {
+// applyControl handles finalize/set-size for a streaming terminal instance
+// and returns the task if the control made it ready.
+func (g *Graph) applyControl(tt *TT, term int, key any, ctrl ControlKind, n int, worker int) *Task {
 	if tt.inputs[term].Reducer == nil {
 		panic(fmt.Sprintf("core: stream control on non-streaming terminal %d of TT %q", term, tt.name))
 	}
-	tt.mu.Lock()
-	sh := tt.getShellLocked(key)
+	sp := tt.match.shard(key)
+	sp.mu.Lock()
+	sh := tt.getShellLocked(sp, key)
 	switch ctrl {
 	case CtrlFinalize:
 		sh.satisfied |= 1 << uint(term)
@@ -242,47 +291,82 @@ func (g *Graph) applyControl(tt *TT, term int, key any, ctrl ControlKind, n int,
 			sh.satisfied |= 1 << uint(term)
 		}
 	}
-	g.maybeReadyLocked(tt, key, sh, worker)
+	return g.maybeReadyLocked(tt, key, sp, sh, worker)
 }
 
-// getShellLocked finds or creates the accumulation shell for a key.
-// Callers hold tt.mu.
-func (tt *TT) getShellLocked(key any) *shell {
-	sh, ok := tt.shells[key]
-	if !ok {
-		n := len(tt.inputs)
-		sh = &shell{inputs: make([]any, n), counts: make([]int, n), targets: make([]int, n)}
-		for i := range tt.inputs {
-			if tt.inputs[i].Reducer != nil {
-				if f := tt.inputs[i].StreamSize; f != nil {
-					sh.targets[i] = f(key)
-					if sh.targets[i] == 0 {
-						sh.satisfied |= 1 << uint(i)
-					}
-				} else {
-					sh.targets[i] = -1
-				}
-			}
-		}
-		tt.shells[key] = sh
+// getShellLocked finds or creates the accumulation shell for a key in
+// shard sp, reusing a retired shell from the shard's free list when one is
+// available. Callers hold sp.mu.
+func (tt *TT) getShellLocked(sp *matchShard, key any) *shell {
+	sh, ok := sp.shells[key]
+	if ok {
+		return sh
 	}
+	if sh = sp.free; sh != nil {
+		sp.free = sh.next
+		sh.next = nil
+	} else {
+		n := len(tt.inputs)
+		sh = &shell{inputs: make([]any, n), counts: make([]int, n), targets: make([]int, n), shard: sp}
+	}
+	// (Re)compute per-key stream targets; a recycled shell was scrubbed at
+	// release but its targets belong to the previous key.
+	for i := range tt.inputs {
+		if tt.inputs[i].Reducer != nil {
+			if f := tt.inputs[i].StreamSize; f != nil {
+				sh.targets[i] = f(key)
+				if sh.targets[i] == 0 {
+					sh.satisfied |= 1 << uint(i)
+				}
+			} else {
+				sh.targets[i] = -1
+			}
+		} else {
+			sh.targets[i] = 0
+		}
+	}
+	sp.shells[key] = sh
 	return sh
 }
 
 // maybeReadyLocked checks for completion, and if ready removes the shell
-// and submits the task. It releases tt.mu in all paths.
-func (g *Graph) maybeReadyLocked(tt *TT, key any, sh *shell, worker int) {
+// and returns its embedded task for submission. It releases sp.mu in all
+// paths.
+func (g *Graph) maybeReadyLocked(tt *TT, key any, sp *matchShard, sh *shell, worker int) *Task {
 	full := uint64(1)<<uint(len(tt.inputs)) - 1
 	if sh.satisfied != full {
-		tt.mu.Unlock()
-		return
+		sp.mu.Unlock()
+		return nil
 	}
-	delete(tt.shells, key)
-	tt.mu.Unlock()
-	t := &Task{TT: tt, Key: key, Inputs: sh.inputs, Priority: tt.Priority(key), Origin: worker}
+	delete(sp.shells, key)
+	sp.mu.Unlock()
+	// The shell leaves the table before its task runs; the embedded task
+	// is submitted in place (no allocation) and Execute recycles the shell.
+	sh.task = Task{TT: tt, Key: key, Inputs: sh.inputs, Priority: tt.Priority(key), Origin: worker, sh: sh}
+	return &sh.task
+}
+
+// submitOne activates and submits a single ready task.
+func (g *Graph) submitOne(t *Task, worker int) {
 	g.recordActivate(t, worker)
 	g.exec.Activate()
 	g.exec.Submit(t)
+}
+
+// submitReady activates and submits a set of tasks that became ready in
+// one send; a fan-out of n tasks reaches the scheduler in one batch.
+func (g *Graph) submitReady(ts []*Task, worker int) {
+	switch len(ts) {
+	case 0:
+	case 1:
+		g.submitOne(ts[0], worker)
+	default:
+		for _, t := range ts {
+			g.recordActivate(t, worker)
+			g.exec.Activate()
+		}
+		g.exec.SubmitBatch(ts)
+	}
 }
 
 // recordActivate emits the task-activate event and moves the ready-backlog
@@ -298,11 +382,10 @@ func (g *Graph) recordActivate(t *Task, worker int) {
 	g.readyBacklog.Add(1)
 }
 
-// HashKey hashes any registered key type; the default keymap uses it.
+// HashKey hashes any registered key type; the default keymap uses it. The
+// common tuple IDs hash inline with no serialization or allocation (see
+// taskHash); the result is a pure function of the key, so it is identical
+// on every rank.
 func HashKey(key any) int {
-	b := serde.NewBuffer(16)
-	serde.EncodeAny(b, key)
-	h := fnv.New32a()
-	h.Write(b.Bytes())
-	return int(h.Sum32() & 0x7fffffff)
+	return int(taskHash(key) & 0x7fffffff)
 }

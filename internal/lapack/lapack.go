@@ -62,45 +62,81 @@ func Trsm(l, b *tile.Tile) {
 }
 
 // Syrk updates C ← C − A·Aᵀ on the lower triangle (diagonal tile update).
+// Row slices are hoisted out of the inner loops and the dot product runs
+// four partial sums wide, so the compiler drops the bounds checks and the
+// FP units overlap independent chains.
 func Syrk(c, a *tile.Tile) {
 	n := c.Rows
 	k := a.Cols
+	w := c.Cols
 	for i := 0; i < n; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*w : i*w+i+1]
 		for j := 0; j <= i; j++ {
-			s := c.At(i, j)
-			for p := 0; p < k; p++ {
-				s -= a.At(i, p) * a.At(j, p)
-			}
-			c.Set(i, j, s)
+			aj := a.Data[j*k : (j+1)*k]
+			ci[j] -= dot4(ai, aj)
 		}
 	}
 }
 
 // GemmNT updates C ← C − A·Bᵀ (the trailing update of the tiled Cholesky).
+// Both operands are traversed row-major (Bᵀ means rows of B are the
+// columns we need), so each 4-wide dot product streams two contiguous rows.
 func GemmNT(c, a, b *tile.Tile) {
 	m, n, k := c.Rows, c.Cols, a.Cols
 	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			s := c.At(i, j)
-			for p := 0; p < k; p++ {
-				s -= a.At(i, p) * b.At(j, p)
-			}
-			c.Set(i, j, s)
+			bj := b.Data[j*k : (j+1)*k]
+			ci[j] -= dot4(ai, bj)
 		}
 	}
 }
 
-// GemmNN updates C ← C + A·B (the block-sparse multiply-add kernel).
+// dot4 is a four-chain unrolled dot product over equal-length slices.
+func dot4(x, y []float64) float64 {
+	k := len(x)
+	y = y[:k]
+	var s0, s1, s2, s3 float64
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		s0 += x[p] * y[p]
+		s1 += x[p+1] * y[p+1]
+		s2 += x[p+2] * y[p+2]
+		s3 += x[p+3] * y[p+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; p < k; p++ {
+		s += x[p] * y[p]
+	}
+	return s
+}
+
+// GemmNN updates C ← C + A·B (the block-sparse multiply-add kernel), in
+// i-p-j order with the C and B rows hoisted: the inner loop is a 4-wide
+// unrolled axpy over two contiguous rows. Zero A entries skip the whole
+// row update (block-sparse tiles are mostly zero).
 func GemmNN(c, a, b *tile.Tile) {
 	m, n, k := c.Rows, c.Cols, a.Cols
 	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
-			av := a.At(i, p)
+			av := ai[p]
 			if av == 0 {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				c.Add(i, j, av*b.At(p, j))
+			bp := b.Data[p*n : (p+1)*n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				ci[j] += av * bp[j]
+				ci[j+1] += av * bp[j+1]
+				ci[j+2] += av * bp[j+2]
+				ci[j+3] += av * bp[j+3]
+			}
+			for ; j < n; j++ {
+				ci[j] += av * bp[j]
 			}
 		}
 	}
@@ -168,18 +204,38 @@ func FWKernelC(c, d *tile.Tile) {
 }
 
 // FWKernelD is the independent update C ← min(C, A⊗B) with A from the
-// tile's row panel and B from its column panel.
+// tile's row panel and B from its column panel. It has no self-dependence,
+// so the i-k-j order with hoisted rows and a 4-wide unrolled inner min
+// is legal (kernels A–C must keep k outermost).
 func FWKernelD(c, a, b *tile.Tile) {
 	m, n, kk := c.Rows, c.Cols, a.Cols
 	for i := 0; i < m; i++ {
+		ai := a.Data[i*kk : (i+1)*kk]
+		ci := c.Data[i*n : (i+1)*n]
 		for k := 0; k < kk; k++ {
-			aik := a.At(i, k)
+			aik := ai[k]
 			if aik >= Inf {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				if v := aik + b.At(k, j); v < c.At(i, j) {
-					c.Set(i, j, v)
+			bk := b.Data[k*n : (k+1)*n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				if v := aik + bk[j]; v < ci[j] {
+					ci[j] = v
+				}
+				if v := aik + bk[j+1]; v < ci[j+1] {
+					ci[j+1] = v
+				}
+				if v := aik + bk[j+2]; v < ci[j+2] {
+					ci[j+2] = v
+				}
+				if v := aik + bk[j+3]; v < ci[j+3] {
+					ci[j+3] = v
+				}
+			}
+			for ; j < n; j++ {
+				if v := aik + bk[j]; v < ci[j] {
+					ci[j] = v
 				}
 			}
 		}

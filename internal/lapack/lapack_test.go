@@ -279,3 +279,132 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// Naive reference kernels: the pre-optimization loop nests, kept verbatim
+// so the cache-blocked kernels are verified against them on random tiles
+// (including non-multiple-of-4 shapes that exercise the unroll tails).
+
+func naiveSyrk(c, a *tile.Tile) {
+	n := c.Rows
+	k := a.Cols
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := c.At(i, j)
+			for p := 0; p < k; p++ {
+				s -= a.At(i, p) * a.At(j, p)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+func naiveGemmNT(c, a, b *tile.Tile) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := c.At(i, j)
+			for p := 0; p < k; p++ {
+				s -= a.At(i, p) * b.At(j, p)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+func naiveGemmNN(c, a, b *tile.Tile) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.At(i, p)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.Add(i, j, av*b.At(p, j))
+			}
+		}
+	}
+}
+
+func naiveFWKernelD(c, a, b *tile.Tile) {
+	m, n, kk := c.Rows, c.Cols, a.Cols
+	for i := 0; i < m; i++ {
+		for k := 0; k < kk; k++ {
+			aik := a.At(i, k)
+			if aik >= Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := aik + b.At(k, j); v < c.At(i, j) {
+					c.Set(i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func randTile(rows, cols int, rng *rand.Rand) *tile.Tile {
+	t := tile.New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func TestBlockedKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Shapes chosen to hit the unroll tails (n % 4 ∈ {0,1,2,3}).
+	shapes := [][3]int{{8, 8, 8}, {7, 5, 9}, {16, 13, 6}, {1, 1, 1}, {3, 17, 31}}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		a := randTile(m, k, rng)
+		b := randTile(n, k, rng)
+		c1 := randTile(m, n, rng)
+		c2 := c1.Clone()
+		GemmNT(c1, a, b)
+		naiveGemmNT(c2, a, b)
+		if !c1.Equal(c2, 1e-12*float64(k)) {
+			t.Fatalf("GemmNT mismatch at %v", s)
+		}
+
+		bnn := randTile(k, n, rng)
+		// Inject zeros so the block-sparse skip path is exercised.
+		for i := 0; i < len(a.Data); i += 3 {
+			a.Data[i] = 0
+		}
+		c3 := randTile(m, n, rng)
+		c4 := c3.Clone()
+		GemmNN(c3, a, bnn)
+		naiveGemmNN(c4, a, bnn)
+		if !c3.Equal(c4, 0) {
+			t.Fatalf("GemmNN mismatch at %v (must be bitwise: same order)", s)
+		}
+	}
+	for _, n := range []int{1, 4, 7, 16, 33} {
+		k := n + 3
+		a := randTile(n, k, rng)
+		c1 := randTile(n, n, rng)
+		c2 := c1.Clone()
+		Syrk(c1, a)
+		naiveSyrk(c2, a)
+		if !c1.Equal(c2, 1e-12*float64(k)) {
+			t.Fatalf("Syrk mismatch at n=%d", n)
+		}
+	}
+	for _, s := range [][3]int{{8, 8, 8}, {7, 5, 9}, {16, 13, 6}, {5, 21, 3}} {
+		m, n, k := s[0], s[1], s[2]
+		a := randTile(m, k, rng)
+		b := randTile(k, n, rng)
+		// Sprinkle Inf to exercise the no-path skip.
+		for i := 0; i < len(a.Data); i += 4 {
+			a.Data[i] = Inf
+		}
+		c1 := randTile(m, n, rng)
+		c2 := c1.Clone()
+		FWKernelD(c1, a, b)
+		naiveFWKernelD(c2, a, b)
+		if !c1.Equal(c2, 0) {
+			t.Fatalf("FWKernelD mismatch at %v (min-plus is exact)", s)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package pool
+
+import "testing"
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct {
+		n, wantCap int
+	}{
+		{1, 256}, {200, 256}, {256, 256}, {257, 512}, {4096, 4096}, {5000, 8192},
+	}
+	for _, c := range cases {
+		s := Bytes(c.n)
+		if len(s) != c.n {
+			t.Fatalf("Bytes(%d) len = %d", c.n, len(s))
+		}
+		if cap(s) != c.wantCap {
+			t.Errorf("Bytes(%d) cap = %d, want %d", c.n, cap(s), c.wantCap)
+		}
+		PutBytes(s)
+	}
+}
+
+func TestOversizeNotPooled(t *testing.T) {
+	n := 1 << 23 // above maxByteBits
+	s := Bytes(n)
+	if len(s) != n || cap(s) != n {
+		t.Fatalf("oversize Bytes: len=%d cap=%d", len(s), cap(s))
+	}
+	PutBytes(s) // must not panic, must not pool
+}
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	s := Float64s(1000)
+	if len(s) != 1000 || cap(s) != 1024 {
+		t.Fatalf("Float64s(1000): len=%d cap=%d", len(s), cap(s))
+	}
+	for i := range s {
+		s[i] = float64(i)
+	}
+	PutFloat64s(s)
+	z := Float64sZeroed(1000)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("Float64sZeroed: z[%d] = %v", i, v)
+		}
+	}
+	PutFloat64s(z)
+}
+
+func TestExactClassRejectsOddCaps(t *testing.T) {
+	if _, ok := exactClass(300, minByteBits, maxByteBits); ok {
+		t.Error("exactClass accepted non-power-of-two capacity")
+	}
+	if _, ok := exactClass(128, minByteBits, maxByteBits); ok {
+		t.Error("exactClass accepted capacity below the smallest class")
+	}
+	if cls, ok := exactClass(256, minByteBits, maxByteBits); !ok || cls != 0 {
+		t.Errorf("exactClass(256) = %d, %v", cls, ok)
+	}
+}
+
+func TestF64Class(t *testing.T) {
+	cls, ok := F64ClassFor(128 * 128)
+	if !ok {
+		t.Fatal("F64ClassFor(16384) not pooled")
+	}
+	if F64ClassCap(cls) != 128*128 {
+		t.Errorf("F64ClassCap = %d, want %d", F64ClassCap(cls), 128*128)
+	}
+	if _, ok := F64ClassFor(1 << 22); ok {
+		t.Error("F64ClassFor accepted oversize payload")
+	}
+}

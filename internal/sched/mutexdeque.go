@@ -1,0 +1,88 @@
+package sched
+
+import "sync"
+
+// MutexDeque is the original mutex-protected work-stealing deque, kept as
+// the comparison baseline for the Chase–Lev Deque (see
+// BenchmarkChaseLevSteal). It compacts from the steal end and releases the
+// backing array when drained, so it no longer pins dead Items on
+// steal-heavy runs.
+type MutexDeque struct {
+	mu    sync.Mutex
+	items []Item
+	head  int // steal end
+}
+
+// NewMutexDeque returns an empty mutex-based deque.
+func NewMutexDeque() *MutexDeque { return &MutexDeque{} }
+
+// PushBottom adds an item at the owner's end.
+func (d *MutexDeque) PushBottom(it Item) {
+	d.mu.Lock()
+	d.items = append(d.items, it)
+	d.mu.Unlock()
+}
+
+// PopBottom removes the most recently pushed item (owner side).
+func (d *MutexDeque) PopBottom() (Item, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		d.release()
+		return Item{}, false
+	}
+	n := len(d.items) - 1
+	it := d.items[n]
+	d.items[n] = Item{}
+	d.items = d.items[:n]
+	d.compact()
+	return it, true
+}
+
+// Steal removes the oldest item (thief side).
+func (d *MutexDeque) Steal() (Item, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.items) {
+		d.release()
+		return Item{}, false
+	}
+	it := d.items[d.head]
+	d.items[d.head] = Item{}
+	d.head++
+	d.compact()
+	return it, true
+}
+
+// Len returns the number of queued items.
+func (d *MutexDeque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items) - d.head
+}
+
+func (d *MutexDeque) compact() {
+	if d.head > 64 && d.head*2 >= len(d.items) {
+		live := len(d.items) - d.head
+		if c := cap(d.items); c > 1024 && c > 4*live {
+			// Mostly dead capacity: reallocate instead of sliding in place,
+			// so steal-heavy runs hand the big array back to the GC.
+			fresh := make([]Item, live, 2*live)
+			copy(fresh, d.items[d.head:])
+			d.items = fresh
+		} else {
+			d.items = append(d.items[:0], d.items[d.head:]...)
+		}
+		d.head = 0
+	}
+}
+
+// release drops the backing array once the deque is observed empty.
+func (d *MutexDeque) release() {
+	if cap(d.items) > 1024 {
+		d.items = nil
+	} else {
+		d.items = d.items[:0]
+	}
+	d.head = 0
+}

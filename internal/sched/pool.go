@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Policy selects the queueing discipline of a worker pool, mirroring
@@ -59,6 +60,10 @@ type Pool struct {
 	obs    obs.Recorder
 	depth  *obs.Gauge
 	steals *obs.Counter
+
+	// tr, when set, feeds the backend's stats counters (the CLI "stolen="
+	// figure) without requiring a full observability session.
+	tr *trace.Collector
 }
 
 // NewPool builds a pool of n workers with the given policy. Call Start to
@@ -100,6 +105,10 @@ func (p *Pool) Observe(rec obs.Recorder) {
 	p.steals = rec.Metrics().Counter(obs.CounterSteals)
 }
 
+// Trace attaches a stats collector; call before Start. Successful steals
+// then increment its TasksStolen counter.
+func (p *Pool) Trace(tr *trace.Collector) { p.tr = tr }
+
 // Start launches the worker goroutines. It is idempotent.
 func (p *Pool) Start() {
 	p.mu.Lock()
@@ -125,6 +134,19 @@ func (p *Pool) Submit(it Item) {
 	p.wake()
 }
 
+// SubmitBatch enqueues a run of items from outside the pool with one
+// queue synchronization and a bounded number of wakeups.
+func (p *Pool) SubmitBatch(its []Item) {
+	if len(its) == 0 {
+		return
+	}
+	if p.depth != nil {
+		p.depth.Add(int64(len(its)))
+	}
+	p.shared.PushBatch(its)
+	p.wakeN(len(its))
+}
+
 // SubmitLocal enqueues work from within the run callback of the given
 // worker; under PolicySteal it lands on that worker's own deque.
 func (p *Pool) SubmitLocal(worker int, it Item) {
@@ -137,6 +159,25 @@ func (p *Pool) SubmitLocal(worker int, it Item) {
 		p.shared.Push(it)
 	}
 	p.wake()
+}
+
+// SubmitLocalBatch enqueues a run of items discovered by one worker (a
+// task fan-out) with a single queue synchronization: under PolicySteal the
+// whole batch lands on that worker's deque in one push, otherwise it goes
+// to the shared queue in one lock acquisition.
+func (p *Pool) SubmitLocalBatch(worker int, its []Item) {
+	if len(its) == 0 {
+		return
+	}
+	if p.depth != nil {
+		p.depth.Add(int64(len(its)))
+	}
+	if p.policy == PolicySteal && worker >= 0 && worker < len(p.deques) {
+		p.deques[worker].PushBottomBatch(its)
+	} else {
+		p.shared.PushBatch(its)
+	}
+	p.wakeN(len(its))
 }
 
 // Stop asks workers to exit once and waits for them. Pending work is not
@@ -152,6 +193,19 @@ func (p *Pool) Stop() {
 func (p *Pool) wake() {
 	p.mu.Lock()
 	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// wakeN wakes up to n idle workers after a batch submission.
+func (p *Pool) wakeN(n int) {
+	p.mu.Lock()
+	if n >= p.n {
+		p.cond.Broadcast()
+	} else {
+		for ; n > 0; n-- {
+			p.cond.Signal()
+		}
+	}
 	p.mu.Unlock()
 }
 
@@ -209,6 +263,9 @@ func (p *Pool) tryNext(id int, rng *rand.Rand) (Item, bool) {
 				continue
 			}
 			if it, ok := p.deques[v].Steal(); ok {
+				if p.tr != nil {
+					p.tr.TasksStolen.Add(1)
+				}
 				if p.obs != nil {
 					p.steals.Add(1)
 					p.obs.Record(obs.Event{Kind: obs.EvSteal, Worker: int32(id),

@@ -20,6 +20,8 @@ type Item struct {
 type Queue interface {
 	// Push enqueues an item.
 	Push(it Item)
+	// PushBatch enqueues a run of items under one synchronization.
+	PushBatch(its []Item)
 	// Pop removes the next item per the queue's policy; ok is false when
 	// the queue is empty.
 	Pop() (Item, bool)
@@ -44,17 +46,40 @@ func (q *FIFO) Push(it Item) {
 	q.mu.Unlock()
 }
 
+// PushBatch enqueues a run of items under one lock acquisition.
+func (q *FIFO) PushBatch(its []Item) {
+	q.mu.Lock()
+	q.items = append(q.items, its...)
+	q.mu.Unlock()
+}
+
 func (q *FIFO) Pop() (Item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head >= len(q.items) {
+		// Drained: drop a grown backing array instead of pinning it.
+		if cap(q.items) > 1024 {
+			q.items = nil
+		} else {
+			q.items = q.items[:0]
+		}
+		q.head = 0
 		return Item{}, false
 	}
 	it := q.items[q.head]
 	q.items[q.head] = Item{}
 	q.head++
 	if q.head > 64 && q.head*2 >= len(q.items) {
-		q.items = append(q.items[:0], q.items[q.head:]...)
+		live := len(q.items) - q.head
+		if c := cap(q.items); c > 1024 && c > 4*live {
+			// Mostly dead capacity: reallocate so the GC can reclaim the
+			// large array rather than sliding items within it.
+			fresh := make([]Item, live, 2*live)
+			copy(fresh, q.items[q.head:])
+			q.items = fresh
+		} else {
+			q.items = append(q.items[:0], q.items[q.head:]...)
+		}
 		q.head = 0
 	}
 	return it, true
@@ -82,16 +107,31 @@ func (q *LIFO) Push(it Item) {
 	q.mu.Unlock()
 }
 
+// PushBatch enqueues a run of items under one lock acquisition.
+func (q *LIFO) PushBatch(its []Item) {
+	q.mu.Lock()
+	q.items = append(q.items, its...)
+	q.mu.Unlock()
+}
+
 func (q *LIFO) Pop() (Item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := len(q.items)
 	if n == 0 {
+		if cap(q.items) > 1024 {
+			q.items = nil
+		}
 		return Item{}, false
 	}
 	it := q.items[n-1]
 	q.items[n-1] = Item{}
 	q.items = q.items[:n-1]
+	if c := cap(q.items); c > 1024 && (n-1)*4 < c {
+		fresh := make([]Item, n-1, 2*(n-1))
+		copy(fresh, q.items)
+		q.items = fresh
+	}
 	return it, true
 }
 
@@ -141,6 +181,16 @@ func (q *Priority) Push(it Item) {
 	q.mu.Lock()
 	heap.Push(&q.h, prioItem{Item: it, seq: q.seq})
 	q.seq++
+	q.mu.Unlock()
+}
+
+// PushBatch enqueues a run of items under one lock acquisition.
+func (q *Priority) PushBatch(its []Item) {
+	q.mu.Lock()
+	for _, it := range its {
+		heap.Push(&q.h, prioItem{Item: it, seq: q.seq})
+		q.seq++
+	}
 	q.mu.Unlock()
 }
 

@@ -224,3 +224,224 @@ func TestPoolStopIdempotentStartIdempotent(t *testing.T) {
 	p.Start()
 	p.Stop()
 }
+
+func TestDequeBatchPushOrder(t *testing.T) {
+	d := NewDeque()
+	batch := make([]Item, 5)
+	for i := range batch {
+		batch[i] = Item{Value: i}
+	}
+	d.PushBottomBatch(batch)
+	// Thief sees submission order, owner sees reverse.
+	if it, _ := d.Steal(); it.Value.(int) != 0 {
+		t.Fatalf("steal got %v want 0", it.Value)
+	}
+	if it, _ := d.PopBottom(); it.Value.(int) != 4 {
+		t.Fatalf("pop got %v want 4", it.Value)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d want 3", d.Len())
+	}
+}
+
+func TestDequeGrowsAndReleases(t *testing.T) {
+	d := NewDeque()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d.PushBottom(Item{Value: i})
+	}
+	if got := d.buf.Load().cap(); got < n {
+		t.Fatalf("ring did not grow: cap %d < %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		it, ok := d.PopBottom()
+		if !ok || it.Value.(int) != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, it.Value, ok)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	if got := d.buf.Load().cap(); got != dqMinCap {
+		t.Fatalf("ring not released after drain: cap %d want %d", got, dqMinCap)
+	}
+	for i := range d.buf.Load().slot {
+		if d.buf.Load().slot[i].Load() != nil {
+			t.Fatalf("slot %d still pins an item after drain", i)
+		}
+	}
+}
+
+func TestDequeStealHeavyDrainReleasesTopEnd(t *testing.T) {
+	d := NewDeque()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d.PushBottom(Item{Value: i})
+	}
+	// Thief-only drain: top-end consumption must not wedge the ring full
+	// of dead boxes once the owner observes it empty.
+	for i := 0; i < n; i++ {
+		if _, ok := d.Steal(); !ok {
+			t.Fatalf("steal %d failed", i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from drained deque succeeded")
+	}
+	r := d.buf.Load()
+	if r.cap() != dqMinCap {
+		t.Fatalf("ring not shrunk after steal-heavy drain: cap %d", r.cap())
+	}
+	for i := range r.slot {
+		if r.slot[i].Load() != nil {
+			t.Fatalf("slot %d still pins an item", i)
+		}
+	}
+}
+
+func TestMutexDequeSemantics(t *testing.T) {
+	d := NewMutexDeque()
+	for i := 0; i < 4; i++ {
+		d.PushBottom(Item{Value: i})
+	}
+	if it, _ := d.Steal(); it.Value.(int) != 0 {
+		t.Fatalf("steal got %v want 0", it.Value)
+	}
+	if it, _ := d.PopBottom(); it.Value.(int) != 3 {
+		t.Fatalf("pop got %v want 3", it.Value)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d want 2", d.Len())
+	}
+}
+
+func TestFIFOReleasesBackingArray(t *testing.T) {
+	q := NewFIFO()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		q.Push(Item{Value: i})
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty FIFO succeeded")
+	}
+	if c := cap(q.items); c > 1024 {
+		t.Fatalf("FIFO retains cap %d after drain", c)
+	}
+}
+
+func TestLIFOReleasesBackingArray(t *testing.T) {
+	q := NewLIFO()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		q.Push(Item{Value: i})
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if c := cap(q.items); c > 1024 {
+		t.Fatalf("LIFO retains cap %d after drain", c)
+	}
+}
+
+func TestQueuePushBatch(t *testing.T) {
+	batch := make([]Item, 10)
+	for i := range batch {
+		batch[i] = Item{Value: i, Priority: int64(i)}
+	}
+	for _, tc := range []struct {
+		name string
+		q    Queue
+	}{
+		{"fifo", NewFIFO()}, {"lifo", NewLIFO()}, {"priority", NewPriority()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.q.PushBatch(batch)
+			if tc.q.Len() != len(batch) {
+				t.Fatalf("len = %d want %d", tc.q.Len(), len(batch))
+			}
+			seen := map[int]bool{}
+			for range batch {
+				it, ok := tc.q.Pop()
+				if !ok {
+					t.Fatal("pop failed")
+				}
+				seen[it.Value.(int)] = true
+			}
+			if len(seen) != len(batch) {
+				t.Fatalf("saw %d distinct items, want %d", len(seen), len(batch))
+			}
+		})
+	}
+}
+
+func TestPoolSubmitBatchExecutesEverything(t *testing.T) {
+	for _, pol := range []Policy{PolicyFIFO, PolicySteal} {
+		t.Run(pol.String(), func(t *testing.T) {
+			const items = 5000
+			var count int64
+			var wg sync.WaitGroup
+			wg.Add(items)
+			p := NewPool(4, pol, func(w int, it Item) {
+				atomic.AddInt64(&count, 1)
+				wg.Done()
+			})
+			p.Start()
+			batch := make([]Item, 0, 64)
+			for i := 0; i < items; i++ {
+				batch = append(batch, Item{Value: i})
+				if len(batch) == 64 || i == items-1 {
+					p.SubmitBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			wg.Wait()
+			p.Stop()
+			if count != items {
+				t.Fatalf("executed %d items, want %d", count, items)
+			}
+		})
+	}
+}
+
+func TestPoolRecursiveLocalBatchSubmit(t *testing.T) {
+	var count int64
+	var wg sync.WaitGroup
+	const fanout = 4
+	const depth = 5
+	var p *Pool
+	body := func(w int, it Item) {
+		defer wg.Done()
+		atomic.AddInt64(&count, 1)
+		d := it.Value.(int)
+		if d < depth {
+			batch := make([]Item, fanout)
+			for c := range batch {
+				batch[c] = Item{Value: d + 1}
+			}
+			wg.Add(fanout)
+			p.SubmitLocalBatch(w, batch)
+		}
+	}
+	p = NewPool(4, PolicySteal, body)
+	p.Start()
+	wg.Add(1)
+	p.Submit(Item{Value: 0})
+	wg.Wait()
+	p.Stop()
+	want := int64(0)
+	pow := int64(1)
+	for i := 0; i <= depth; i++ {
+		want += pow
+		pow *= fanout
+	}
+	if count != want {
+		t.Fatalf("executed %d tasks, want %d", count, want)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Buffer is a compact append-only archive used to serialize messages.
@@ -33,6 +34,64 @@ func NewBuffer(capacity int) *Buffer {
 
 // FromBytes wraps an encoded byte slice for reading.
 func FromBytes(b []byte) *Buffer { return &Buffer{data: b} }
+
+// bufPool recycles Buffers (and their backing arrays) across encode
+// operations; the runtime's hot send paths allocate nothing at steady
+// state. Backing arrays above maxPooledBuffer are dropped so one giant
+// message cannot pin memory in the pool.
+var bufPool = sync.Pool{New: func() any { return &Buffer{} }}
+
+const maxPooledBuffer = 1 << 22
+
+// GetBuffer returns a pooled write buffer with at least the given capacity.
+// Pair with Release (give the buffer back) or Detach (keep the bytes, give
+// the wrapper back).
+func GetBuffer(capacity int) *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.off = 0
+	if cap(b.data) < capacity {
+		if capacity < 64 {
+			capacity = 64
+		}
+		b.data = make([]byte, 0, capacity)
+	} else {
+		b.data = b.data[:0]
+	}
+	return b
+}
+
+// Release returns a buffer obtained from GetBuffer (or FromBytes, once the
+// caller is done reading) to the pool. The buffer must not be used after.
+func (b *Buffer) Release() {
+	if cap(b.data) > maxPooledBuffer {
+		b.data = nil
+	} else {
+		b.data = b.data[:0]
+	}
+	b.off = 0
+	bufPool.Put(b)
+}
+
+// Detach surrenders the encoded bytes to the caller (e.g. to hand a packet
+// to the network, which then owns the array) and recycles the wrapper.
+// The buffer must not be used after.
+func (b *Buffer) Detach() []byte {
+	data := b.data
+	b.data = nil
+	b.off = 0
+	bufPool.Put(b)
+	return data
+}
+
+// Recycle donates a byte slice (typically a fully consumed receive
+// buffer) to the encode pool. The caller must own the array outright.
+func Recycle(data []byte) {
+	c := cap(data)
+	if c == 0 || c > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(&Buffer{data: data[:0]})
+}
 
 // Bytes returns the encoded contents.
 func (b *Buffer) Bytes() []byte { return b.data }

@@ -57,6 +57,36 @@ type entry struct {
 	tag   uint32
 	typ   reflect.Type
 	codec Codec
+	// shareable marks pointer-free value types: a boxed value of such a
+	// type is immutable through the interface (any access type-asserts a
+	// copy out), so "deep copy" is the identity and CloneAny can hand the
+	// same box to every local consumer.
+	shareable bool
+}
+
+// shareableType reports whether a value of t boxed in an interface can be
+// shared instead of deep-copied: every reachable byte must live inside the
+// box (no pointers, slices, maps, funcs, or channels). Strings qualify
+// because Go strings are immutable.
+func shareableType(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	case reflect.Array:
+		return shareableType(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !shareableType(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 var (
@@ -84,7 +114,7 @@ func RegisterType(sample any, c Codec) {
 		e.codec = c
 		return
 	}
-	e := &entry{tag: nextTag, typ: t, codec: c}
+	e := &entry{tag: nextTag, typ: t, codec: c, shareable: shareableType(t)}
 	nextTag++
 	byType[t] = e
 	byTag[e.tag] = e
@@ -137,8 +167,22 @@ func WireSizeAny(v any) int {
 	return uvarintLen(uint64(e.tag)) + e.codec.WireSize(v)
 }
 
-// CloneAny deep-copies v through its codec.
-func CloneAny(v any) any { return lookupType(v).codec.Clone(v) }
+// CloneAny deep-copies v through its codec. Pointer-free value types skip
+// the codec: their boxes are immutable, so sharing is a correct deep copy.
+// The type switch short-circuits the hottest key/value types without even
+// a registry lookup (mirroring the fast paths of core's task-ID hash).
+func CloneAny(v any) any {
+	switch v.(type) {
+	case int, int32, int64, uint64, float64, bool, string, Void,
+		Int1, Int2, Int3, Int4, Int5:
+		return v
+	}
+	e := lookupType(v)
+	if e.shareable {
+		return v
+	}
+	return e.codec.Clone(v)
+}
 
 // WireTagOf returns the wire tag assigned to v's dynamic type.
 func WireTagOf(v any) uint32 { return lookupType(v).tag }

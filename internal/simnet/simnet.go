@@ -230,11 +230,15 @@ func (e *Endpoint) Register(buf []byte) RMAHandle {
 	return RMAHandle{Owner: e.rank, ID: id}
 }
 
-// Deregister releases a region previously registered on this endpoint.
-func (e *Endpoint) Deregister(h RMAHandle) {
+// Deregister releases a region previously registered on this endpoint and
+// returns the registered value (nil when the handle is unknown), so the
+// caller can recycle runtime-owned buffers.
+func (e *Endpoint) Deregister(h RMAHandle) any {
 	e.regMu.Lock()
+	v := e.regions[h.ID]
 	delete(e.regions, h.ID)
 	e.regMu.Unlock()
+	return v
 }
 
 // RegionCount reports how many regions are currently registered; a

@@ -8,8 +8,10 @@ package tile
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/des"
+	"repro/internal/pool"
 	"repro/internal/serde"
 )
 
@@ -23,6 +25,54 @@ type Tile struct {
 // New allocates a zeroed tile.
 func New(rows, cols int) *Tile {
 	return &Tile{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// tilePools recycles whole tiles (struct and payload together, so a
+// Get/Put cycle allocates nothing) keyed by the payload's size class.
+// Runtime-created tiles — Clone copies, splitmd receives, codec decodes —
+// come from here; Release returns them. Tiles built with New are not
+// pooled unless explicitly Released into a pool-compatible class.
+var tilePools [pool.NumF64Classes]sync.Pool
+
+// get returns a pooled tile of the given shape with undefined contents.
+func get(rows, cols int) *Tile {
+	n := rows * cols
+	cls, ok := pool.F64ClassFor(n)
+	if !ok {
+		return &Tile{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	if v := tilePools[cls].Get(); v != nil {
+		t := v.(*Tile)
+		t.Rows, t.Cols = rows, cols
+		t.Data = t.Data[:n]
+		return t
+	}
+	return &Tile{Rows: rows, Cols: cols, Data: make([]float64, n, pool.F64ClassCap(cls))}
+}
+
+// NewPooled returns a zeroed tile drawn from the tile pool; pair with
+// Release when the tile's lifetime is known.
+func NewPooled(rows, cols int) *Tile {
+	t := get(rows, cols)
+	clear(t.Data)
+	return t
+}
+
+// Release returns a tile to the pool. The caller must own the tile
+// outright and must not touch it afterwards. Tiles whose payload capacity
+// is not an exact pool class (e.g. built by New with a non-power-of-two
+// area) are left to the garbage collector.
+func (t *Tile) Release() {
+	if t == nil || t.Data == nil {
+		return
+	}
+	c := cap(t.Data)
+	cls, ok := pool.F64ClassFor(c)
+	if !ok || pool.F64ClassCap(cls) != c {
+		return
+	}
+	t.Data = t.Data[:c]
+	tilePools[cls].Put(t)
 }
 
 // Phantom builds a shape-only tile for virtual-time runs.
@@ -45,16 +95,17 @@ func (t *Tile) Add(i, j int, v float64) { t.Data[i*t.Cols+j] += v }
 // PayloadSize returns the payload size in bytes (also for phantoms).
 func (t *Tile) PayloadSize() int { return 8 * t.Rows * t.Cols }
 
-// Clone deep-copies the tile. Phantom clones report the would-be memcpy
-// to the active simulation.
+// Clone deep-copies the tile; the copy is drawn from the tile pool (give
+// it back with Release when its lifetime is known). Phantom clones report
+// the would-be memcpy to the active simulation.
 func (t *Tile) Clone() *Tile {
 	if t.Data == nil {
 		des.ChargeCopy(t.PayloadSize())
 		return &Tile{Rows: t.Rows, Cols: t.Cols}
 	}
-	d := make([]float64, len(t.Data))
-	copy(d, t.Data)
-	return &Tile{Rows: t.Rows, Cols: t.Cols, Data: d}
+	c := get(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
 }
 
 // Equal reports element-wise equality within eps.
@@ -121,12 +172,13 @@ func init() {
 		Dec: func(b *serde.Buffer) *Tile {
 			rows := int(b.Varint())
 			cols := int(b.Varint())
-			t := &Tile{Rows: rows, Cols: cols}
-			if b.Bool() {
-				t.Data = make([]float64, rows*cols)
-				for i := range t.Data {
-					t.Data[i] = b.F64()
-				}
+			if !b.Bool() {
+				return Phantom(rows, cols)
+			}
+			// Pooled payload; every element is overwritten below.
+			t := get(rows, cols)
+			for i := range t.Data {
+				t.Data[i] = b.F64()
 			}
 			return t
 		},
@@ -141,7 +193,9 @@ func init() {
 			rows := int(b.Varint())
 			cols := int(b.Varint())
 			if b.Bool() {
-				return New(rows, cols)
+				// CopyPayloadFrom overwrites the payload, but the fetch may
+				// be partial in principle, so hand out zeroed memory.
+				return NewPooled(rows, cols)
 			}
 			return Phantom(rows, cols)
 		},
