@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -27,11 +27,14 @@ import (
 
 // Wire kinds on the simnet fabric.
 const (
-	kCtrl     uint8 = iota + 1 // termination-detection control
-	kData                      // eager data: header + inline archive value
-	kSplit                     // splitmd phase 1: header + metadata + RMA handle
-	kSplitAck                  // splitmd completion: release the source region
-	kBcast                     // tree broadcast: plan + inline value
+	kCtrl       uint8 = iota + 1 // termination-detection control
+	kData                        // eager data: header + inline archive value
+	kSplit                       // splitmd phase 1: header + metadata + RMA handle
+	kSplitAck                    // splitmd completion: release the source region
+	kBcast                       // tree broadcast: plan + inline value (small payloads)
+	kCoal                        // coalesced frame: run of [kind u8][kData/kSplit message]
+	kBcastHdr                    // pipelined broadcast: plan + payload geometry
+	kBcastChunk                  // pipelined broadcast: one payload chunk
 )
 
 // Options configure the engine; the named backends provide presets.
@@ -54,6 +57,21 @@ type Options struct {
 	// EagerThreshold is the wire size (bytes) above which splitmd is
 	// preferred over the eager archive path.
 	EagerThreshold int
+	// CoalesceBytes is the per-destination aggregation frame size: messages
+	// smaller than this are batched per peer and flushed as one wire packet
+	// when the frame fills, CoalesceCount messages accumulate, or the
+	// scheduler goes idle. Zero means the 8 KiB default; negative disables
+	// coalescing (every message is its own packet).
+	CoalesceBytes int
+	// CoalesceCount caps the number of messages per coalesced frame.
+	// Zero means the default of 32.
+	CoalesceCount int
+	// BcastChunk is the pipelined-broadcast chunk size: tree broadcasts
+	// whose serialized payload exceeds it are streamed in BcastChunk-byte
+	// pieces so relays forward chunk k while chunk k+1 is still in flight.
+	// Zero means the 128 KiB default; negative disables pipelining
+	// (store-and-forward of the whole payload at each hop).
+	BcastChunk int
 	// Net configures latency/bandwidth of the virtual fabric.
 	Net simnet.Config
 	// Obs, when non-nil, enables structured observability: every rank
@@ -72,6 +90,15 @@ func (o *Options) fill(ranks int) {
 	}
 	if o.EagerThreshold <= 0 {
 		o.EagerThreshold = 4096
+	}
+	if o.CoalesceBytes == 0 {
+		o.CoalesceBytes = 8 << 10
+	}
+	if o.CoalesceCount <= 0 {
+		o.CoalesceCount = 32
+	}
+	if o.BcastChunk == 0 {
+		o.BcastChunk = 128 << 10
 	}
 	o.Net.Ranks = ranks
 }
@@ -147,11 +174,25 @@ type Proc struct {
 	ready    chan struct{}
 	bindOnce sync.Once
 
-	// rec is the rank's observability recorder (nil when disabled); the
-	// message-size histogram handle is resolved once to keep the send
-	// path lock-free.
-	rec      *obs.Rank
-	msgBytes *obs.Histogram
+	// coal is the per-peer send aggregator (nil when coalescing is off).
+	coal *coalescer
+
+	// Pipelined-broadcast state: bcastSeq numbers broadcasts this rank
+	// roots; bcasts holds in-progress reassemblies keyed by {root, id}.
+	// Only the comm thread touches bcasts, so it needs no lock.
+	bcastSeq atomic.Uint64
+	bcasts   map[bcastKey]*bcastState
+
+	// rec is the rank's observability recorder (nil when disabled); metric
+	// handles are resolved once to keep the send path lock-free.
+	rec        *obs.Rank
+	msgBytes   *obs.Histogram
+	wirePkts   *obs.Counter
+	wireBytes  *obs.Counter
+	eagerSends *obs.Counter
+	rdvSends   *obs.Counter
+	coalBatch  *obs.Histogram
+	bcChunks   *obs.Counter
 
 	// snaps tracks RMA handles whose registered object is a runtime-owned
 	// splitmd snapshot (SendCopy); on release ack the object goes back to
@@ -164,7 +205,14 @@ func newProc(rt *Runtime, rank int) *Proc {
 	p := &Proc{rt: rt, rank: rank, ep: rt.net.Endpoint(rank), ready: make(chan struct{})}
 	if rt.opts.Obs != nil {
 		p.rec = rt.opts.Obs.Rank(rank)
-		p.msgBytes = p.rec.Metrics().Histogram(obs.HistMsgBytes)
+		m := p.rec.Metrics()
+		p.msgBytes = m.Histogram(obs.HistMsgBytes)
+		p.wirePkts = m.Counter(obs.CounterWirePackets)
+		p.wireBytes = m.Counter(obs.CounterWireBytes)
+		p.eagerSends = m.Counter(obs.CounterEagerSends)
+		p.rdvSends = m.Counter(obs.CounterRendezvousSends)
+		p.coalBatch = m.Histogram(obs.HistCoalesceBatch)
+		p.bcChunks = m.Counter(obs.CounterBcastChunks)
 	}
 	p.det = termdet.New(rank, rt.Ranks(), func(dst int, data []byte) {
 		p.ep.Send(dst, kCtrl, data)
@@ -175,6 +223,13 @@ func newProc(rt *Runtime, rank int) *Proc {
 	p.pool.Trace(&p.tr)
 	if p.rec != nil {
 		p.pool.Observe(p.rec)
+	}
+	if rt.opts.CoalesceBytes > 0 {
+		p.coal = newCoalescer(p, rt.Ranks(), rt.opts.CoalesceBytes, rt.opts.CoalesceCount)
+		// Flush buffered frames whenever the scheduler quiesces, so
+		// batching never holds a message the termination detector is
+		// waiting on.
+		p.pool.OnIdle(p.flushSends)
 	}
 	return p
 }
@@ -227,7 +282,10 @@ func (p *Proc) Activate() { p.det.Activate() }
 func (p *Proc) Deactivate() { p.det.Deactivate() }
 
 // Fence implements core.Executor: collective wait for global quiescence.
+// Buffered coalesced frames are flushed first — a fence can only complete
+// once every counted message has actually reached the wire.
 func (p *Proc) Fence() {
+	p.flushSends()
 	if p.rec == nil {
 		p.det.Fence()
 		return
@@ -236,6 +294,13 @@ func (p *Proc) Fence() {
 	p.det.Fence()
 	p.rec.Record(obs.Event{Kind: obs.EvFence, Worker: -1, TT: -1,
 		Dur: p.rec.Now() - start, Name: "fence"})
+}
+
+// flushSends drains the send aggregator (idle hook and fence entry).
+func (p *Proc) flushSends() {
+	if p.coal != nil {
+		p.coal.flushAll()
+	}
 }
 
 // Bind attaches the rank's sealed graph; remote deliveries are held until
@@ -309,9 +374,11 @@ func (p *Proc) Deliver(dest int, d core.Delivery) {
 	if hasValue {
 		serde.EncodeAny(b, d.Value)
 		p.tr.ArchiveTransfers.Add(1)
+		if p.eagerSends != nil {
+			p.eagerSends.Add(1)
+		}
 	}
-	// Detach: the network owns the bytes; the receiver recycles them.
-	p.send(dest, kData, b.Detach())
+	p.enqueue(dest, kData, b)
 }
 
 // deliverSplit performs splitmd phase 1: eager metadata plus an RMA handle
@@ -345,56 +412,62 @@ func (p *Proc) deliverSplit(dest int, d core.Delivery) {
 	b.PutRaw(simnet.EncodeHandle(nil, h))
 	p.tr.SplitMDTransfers.Add(1)
 	p.tr.BytesSent.Add(int64(src.PayloadBytes())) // the RMA-fetched payload
-	p.send(dest, kSplit, b.Detach())
+	if p.rdvSends != nil {
+		p.rdvSends.Add(1)
+	}
+	p.enqueue(dest, kSplit, b)
 }
 
-// Broadcast implements core.Executor.
-func (p *Proc) Broadcast(dests map[int]core.Delivery) {
-	if !p.rt.opts.TreeBroadcast || len(dests) < 2 {
-		for dst, d := range dests {
-			p.Deliver(dst, d)
-		}
+// enqueue hands one logical message (owned buffer b) to the transport.
+// Termination detection and the logical-message stats are counted here, at
+// enqueue time; the message then either joins dest's coalescing frame or —
+// when coalescing is off or the message alone exceeds the frame size —
+// becomes its own wire packet.
+func (p *Proc) enqueue(dest int, kind uint8, b *serde.Buffer) {
+	p.countSent(b.Len())
+	if p.coal != nil && b.Len() < p.coal.maxBytes {
+		p.coal.add(dest, kind, b)
 		return
 	}
-	// Build the plan once: value serialized a single time, forwarded along
-	// a binomial tree over the destination ranks.
-	participants := make([]int, 0, len(dests))
-	var value any
-	for dst, d := range dests {
-		participants = append(participants, dst)
-		value = d.Value
-	}
-	order := collective.Order(p.rank, participants)
-	b := serde.GetBuffer(512)
-	b.PutU32(uint32(p.rank))
-	b.PutUvarint(uint64(len(order)))
-	for _, r := range order {
-		b.PutVarint(int64(r))
-	}
-	b.PutUvarint(uint64(len(dests)))
-	for dst, d := range dests {
-		b.PutVarint(int64(dst))
-		core.EncodeHeader(b, d)
-	}
-	serde.EncodeAny(b, value)
-	p.tr.ArchiveTransfers.Add(1)
-	// Detach, not Release: the same array is shared by every child send
-	// and forwarded down the tree, so it is never recycled.
-	data := b.Detach()
-	collective.Observe(p.Obs(), order, len(data))
-	for _, child := range collective.Fanout(order, p.rank) {
-		p.send(child, kBcast, data)
+	p.sendWire(dest, kind, b.Detach())
+}
+
+// sendDirect is enqueue for broadcast traffic, which bypasses coalescing:
+// its packets carry arrays shared across receivers and are forwarded
+// verbatim down the tree, so they must map one-to-one onto wire packets.
+func (p *Proc) sendDirect(dest int, kind uint8, data []byte) {
+	p.countSent(len(data))
+	p.sendWire(dest, kind, data)
+}
+
+// countSent does the per-logical-message bookkeeping.
+func (p *Proc) countSent(n int) {
+	p.det.MsgSent()
+	p.tr.MsgsSent.Add(1)
+	if p.rec != nil {
+		p.rec.Record(obs.Event{Kind: obs.EvMsgEnqueue, Worker: -1, TT: -1,
+			Bytes: int64(n)})
+		p.msgBytes.Observe(int64(n))
 	}
 }
 
-func (p *Proc) send(dest int, kind uint8, data []byte) {
-	p.det.MsgSent()
-	p.tr.MsgsSent.Add(1)
+// flushFrame ships one coalesced frame of n messages (called by the
+// aggregator with ownership of the frame buffer).
+func (p *Proc) flushFrame(dest int, frame *serde.Buffer, n int) {
+	p.tr.CoalescedMsgs.Add(int64(n))
+	if p.coalBatch != nil {
+		p.coalBatch.Observe(int64(n))
+	}
+	p.sendWire(dest, kCoal, frame.Detach())
+}
+
+// sendWire puts one physical packet on the fabric.
+func (p *Proc) sendWire(dest int, kind uint8, data []byte) {
+	p.tr.WirePackets.Add(1)
 	p.tr.BytesSent.Add(int64(len(data)))
-	if p.rec != nil {
-		p.rec.Record(obs.Event{Kind: obs.EvMsgEnqueue, Worker: -1, TT: -1,
-			Bytes: int64(len(data))})
-		p.msgBytes.Observe(int64(len(data)))
+	if p.wirePkts != nil {
+		p.wirePkts.Add(1)
+		p.wireBytes.Add(int64(len(data)))
 	}
 	p.ep.Send(dest, kind, data)
 }
@@ -434,17 +507,14 @@ func (p *Proc) commLoop() {
 			p.tr.MsgsReceived.Add(1)
 			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
 			p.recordDeliver(len(pkt.Data))
-			b := serde.FromBytes(pkt.Data)
-			d := core.DecodeHeader(b)
-			tag := uint32(b.Uvarint())
-			meta := b.BytesOut()
-			payloadBytes := int(b.Uvarint())
-			h, _ := simnet.DecodeHandle(b.RawOut(12))
-			// Phase 2 runs asynchronously, like an RMA engine completing
-			// the get and firing a completion callback. Everything it needs
-			// was copied out (meta via BytesOut), so recycle the packet.
+			p.startSplitFetch(serde.FromBytes(pkt.Data), pkt.Src)
 			serde.Recycle(pkt.Data)
-			go p.fetchSplit(d, tag, meta, payloadBytes, h, pkt.Src)
+		case kCoal:
+			<-p.ready
+			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
+			p.recordDeliver(len(pkt.Data))
+			p.handleCoal(pkt.Data, pkt.Src)
+			serde.Recycle(pkt.Data)
 		case kSplitAck:
 			h, _ := simnet.DecodeHandle(pkt.Data)
 			obj := p.ep.Deregister(h)
@@ -461,19 +531,77 @@ func (p *Proc) commLoop() {
 					r.Release()
 				}
 			}
-		case kBcast:
+		case kBcast, kBcastHdr, kBcastChunk:
+			// Broadcast packets carry arrays shared with other receivers
+			// and forwarded verbatim down the tree, so they are never
+			// recycled.
 			<-p.ready
 			p.det.Activate()
 			p.det.MsgReceived()
 			p.tr.MsgsReceived.Add(1)
 			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
 			p.recordDeliver(len(pkt.Data))
-			p.handleBcast(pkt.Data)
+			switch pkt.Kind {
+			case kBcast:
+				p.handleBcast(pkt.Data)
+			case kBcastHdr:
+				p.handleBcastHdr(pkt.Data)
+			case kBcastChunk:
+				p.handleBcastChunk(pkt.Data)
+			}
 			p.det.Deactivate()
 		default:
 			panic(fmt.Sprintf("backend: unknown packet kind %d", pkt.Kind))
 		}
 	}
+}
+
+// handleCoal unpacks one coalesced frame. Every sub-message is counted as
+// a received logical message; eager deliveries are collected and injected
+// as one batch (a single matcher pass per shard and one scheduler wakeup
+// for the whole frame), while splitmd sub-messages launch their payload
+// fetches immediately.
+func (p *Proc) handleCoal(data []byte, src int) {
+	b := serde.FromBytes(data)
+	var dels []core.Delivery
+	for b.Remaining() > 0 {
+		kind := b.U8()
+		p.det.Activate()
+		p.det.MsgReceived()
+		p.tr.MsgsReceived.Add(1)
+		switch kind {
+		case kData:
+			d := core.DecodeHeader(b)
+			if b.Bool() {
+				d.Value = serde.DecodeAny(b)
+			}
+			dels = append(dels, d)
+		case kSplit:
+			p.startSplitFetch(b, src) // deactivates when the fetch lands
+		default:
+			panic(fmt.Sprintf("backend: bad sub-message kind %d in coalesced frame", kind))
+		}
+	}
+	if len(dels) > 0 {
+		p.graph.InjectBatch(dels)
+		for range dels {
+			p.det.Deactivate()
+		}
+	}
+}
+
+// startSplitFetch reads a splitmd phase-1 message from b and launches phase
+// 2 asynchronously, like an RMA engine completing the get and firing a
+// completion callback. Everything phase 2 needs is copied out of the wire
+// buffer (meta via BytesOut) before this returns, so the caller may recycle
+// the packet. The caller's Activate is balanced by fetchSplit.
+func (p *Proc) startSplitFetch(b *serde.Buffer, src int) {
+	d := core.DecodeHeader(b)
+	tag := uint32(b.Uvarint())
+	meta := b.BytesOut()
+	payloadBytes := int(b.Uvarint())
+	h, _ := simnet.DecodeHandle(b.RawOut(12))
+	go p.fetchSplit(d, tag, meta, payloadBytes, h, src)
 }
 
 func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes int, h simnet.RMAHandle, src int) {
@@ -495,41 +623,6 @@ func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes
 	p.graph.Inject(d)
 	// Notify the sender so it can release the source object.
 	p.ep.Send(src, kSplitAck, simnet.EncodeHandle(nil, h))
-}
-
-func (p *Proc) handleBcast(data []byte) {
-	b := serde.FromBytes(data)
-	root := int(b.U32())
-	n := int(b.Uvarint())
-	order := make([]int, n)
-	for i := range order {
-		order[i] = int(b.Varint())
-	}
-	ne := int(b.Uvarint())
-	var mine *core.Delivery
-	for i := 0; i < ne; i++ {
-		r := int(b.Varint())
-		d := core.DecodeHeader(b)
-		if r == p.rank {
-			mine = &d
-		}
-	}
-	value := serde.DecodeAny(b)
-	_ = root
-	// Forward to tree children first (latency overlap), then deliver.
-	kids := collective.Fanout(order, p.rank)
-	for _, child := range kids {
-		p.tr.BcastsForwarded.Add(1)
-		if p.rec != nil {
-			p.rec.Record(obs.Event{Kind: obs.EvBcastForward, Worker: -1, TT: -1,
-				Bytes: int64(len(data))})
-		}
-		p.send(child, kBcast, data)
-	}
-	if mine != nil {
-		mine.Value = value
-		p.graph.Inject(*mine)
-	}
 }
 
 // recordDeliver emits a message-delivery event on the comm thread.

@@ -1,0 +1,85 @@
+package backend
+
+import (
+	"sync"
+
+	"repro/internal/serde"
+)
+
+// coalescer is the per-rank send aggregator (the TaskTorrent-style message
+// batching lever): small control/activation messages bound for the same
+// destination rank are framed into one wire packet instead of each paying
+// full per-packet fabric latency. A frame is flushed when it crosses the
+// byte threshold, when it holds maxCount messages, or when the scheduler
+// goes quiescent (the pool's idle hook) — so batching never stalls
+// termination detection.
+//
+// Frame layout: a self-delimiting run of [kind u8][encoded message], where
+// kind is the sub-message's native wire kind (kData or kSplit) and the
+// message bytes are exactly what the uncoalesced packet would have carried.
+type coalescer struct {
+	p        *Proc
+	maxBytes int
+	maxCount int
+	peers    []peerBuf
+}
+
+// peerBuf accumulates the pending frame for one destination rank.
+type peerBuf struct {
+	mu    sync.Mutex
+	buf   *serde.Buffer // nil when no messages are pending
+	count int
+}
+
+func newCoalescer(p *Proc, ranks, maxBytes, maxCount int) *coalescer {
+	return &coalescer{p: p, maxBytes: maxBytes, maxCount: maxCount, peers: make([]peerBuf, ranks)}
+}
+
+// add appends one encoded message to dest's pending frame, taking ownership
+// of b (its bytes are copied into the frame and the buffer is released).
+// Crossing either flush threshold sends the frame immediately; the send
+// happens outside the peer lock so concurrent senders to the same rank
+// only contend for the memcpy.
+func (c *coalescer) add(dest int, kind uint8, b *serde.Buffer) {
+	pb := &c.peers[dest]
+	pb.mu.Lock()
+	if pb.buf == nil {
+		pb.buf = serde.GetBuffer(c.maxBytes + 64)
+	}
+	pb.buf.PutU8(kind)
+	pb.buf.PutRaw(b.Bytes())
+	pb.count++
+	var out *serde.Buffer
+	var n int
+	if pb.buf.Len() >= c.maxBytes || pb.count >= c.maxCount {
+		out, n = pb.buf, pb.count
+		pb.buf, pb.count = nil, 0
+	}
+	pb.mu.Unlock()
+	b.Release()
+	if out != nil {
+		c.p.flushFrame(dest, out, n)
+	}
+}
+
+// flush sends dest's pending frame, if any.
+func (c *coalescer) flush(dest int) {
+	pb := &c.peers[dest]
+	pb.mu.Lock()
+	out, n := pb.buf, pb.count
+	pb.buf, pb.count = nil, 0
+	pb.mu.Unlock()
+	if out != nil {
+		c.p.flushFrame(dest, out, n)
+	}
+}
+
+// flushAll drains every destination's pending frame (fence entry and
+// scheduler-idle hook).
+func (c *coalescer) flushAll() {
+	for d := range c.peers {
+		if d != c.p.rank {
+			c.flush(d)
+		}
+	}
+}

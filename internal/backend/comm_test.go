@@ -1,0 +1,254 @@
+package backend_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/backend/parsec"
+	"repro/internal/core"
+	"repro/internal/serde"
+	"repro/internal/trace"
+)
+
+// runFan executes a single source task on rank 0 that sends msgs small
+// values point-to-point to distinct keys all living on rank 1, and returns
+// rank 0's trace snapshot plus how many sink tasks fired.
+func runFan(t *testing.T, cfg parsec.Config, msgs int) (snap trace.Snapshot, fired int) {
+	t.Helper()
+	var mu sync.Mutex
+	rt := parsec.New(2, cfg)
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		out := core.NewEdge("out")
+		g.AddTT(core.TTSpec{
+			Name:    "src",
+			Inputs:  []core.InputSpec{{Edge: in}},
+			Outputs: []core.OutputSpec{{Edge: out}},
+			Keymap:  func(any) int { return 0 },
+			Body: func(ctx *core.TaskContext) {
+				for k := 0; k < msgs; k++ {
+					ctx.Send(0, serde.Int1{k}, float64(k))
+				}
+			},
+		})
+		g.AddTT(core.TTSpec{
+			Name:   "sink",
+			Inputs: []core.InputSpec{{Edge: out}},
+			Keymap: func(any) int { return 1 },
+			Body: func(ctx *core.TaskContext) {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			g.Seed(in, serde.Int1{0}, 0.0)
+		}
+		g.Fence()
+		if p.Rank() == 0 {
+			snap = p.Tracer().Snapshot()
+		}
+	})
+	return snap, fired
+}
+
+// TestCoalescingReducesWirePackets checks the tentpole claim directly: a
+// burst of small same-destination messages must reach the fabric in at
+// least 2x fewer packets than logical messages, while an uncoalesced run
+// pays one packet per message.
+func TestCoalescingReducesWirePackets(t *testing.T) {
+	const msgs = 100
+
+	snap, fired := runFan(t, parsec.Config{WorkersPerRank: 1}, msgs)
+	if fired != msgs {
+		t.Fatalf("coalesced: %d sinks fired, want %d", fired, msgs)
+	}
+	if snap.MsgsSent < msgs {
+		t.Fatalf("coalesced: MsgsSent = %d, want >= %d", snap.MsgsSent, msgs)
+	}
+	if snap.WirePackets*2 > snap.MsgsSent {
+		t.Fatalf("coalesce ratio too low: %d logical messages in %d wire packets, want >= 2x",
+			snap.MsgsSent, snap.WirePackets)
+	}
+	if snap.CoalescedMsgs == 0 {
+		t.Fatal("coalesced: CoalescedMsgs counter never moved")
+	}
+
+	raw, fired := runFan(t, parsec.Config{WorkersPerRank: 1, CoalesceBytes: -1}, msgs)
+	if fired != msgs {
+		t.Fatalf("uncoalesced: %d sinks fired, want %d", fired, msgs)
+	}
+	if raw.WirePackets != raw.MsgsSent {
+		t.Fatalf("uncoalesced: WirePackets = %d, MsgsSent = %d, want equal",
+			raw.WirePackets, raw.MsgsSent)
+	}
+	if raw.CoalescedMsgs != 0 {
+		t.Fatalf("uncoalesced: CoalescedMsgs = %d, want 0", raw.CoalescedMsgs)
+	}
+}
+
+// TestEagerRendezvousSwitch pins the protocol auto-selection to both sides
+// of the configured threshold: a payload under it travels inline (archive),
+// one over it takes the splitmd rendezvous path.
+func TestEagerRendezvousSwitch(t *testing.T) {
+	run := func(floats int) (snap trace.Snapshot, last float64) {
+		rt := parsec.New(2, parsec.Config{WorkersPerRank: 1, EagerThreshold: 1024})
+		rt.Run(func(p *backend.Proc) {
+			g := p.NewGraph()
+			in := core.NewEdge("in")
+			out := core.NewEdge("out")
+			g.AddTT(core.TTSpec{
+				Name:    "src",
+				Inputs:  []core.InputSpec{{Edge: in}},
+				Outputs: []core.OutputSpec{{Edge: out}},
+				Keymap:  func(any) int { return 0 },
+				Body: func(ctx *core.TaskContext) {
+					v := &vec{n: floats, data: make([]float64, floats)}
+					for i := range v.data {
+						v.data[i] = float64(i)
+					}
+					ctx.SendMode(0, ctx.Key(), v, core.SendMove)
+				},
+			})
+			g.AddTT(core.TTSpec{
+				Name:   "dst",
+				Inputs: []core.InputSpec{{Edge: out}},
+				Keymap: func(any) int { return 1 },
+				Body: func(ctx *core.TaskContext) {
+					v := ctx.Input(0).(*vec)
+					last = v.data[len(v.data)-1]
+				},
+			})
+			g.Seal()
+			p.Bind(g)
+			if p.Rank() == 0 {
+				g.Seed(in, serde.Int1{0}, 0.0)
+			}
+			g.Fence()
+			if p.Rank() == 0 {
+				snap = p.Tracer().Snapshot()
+			}
+		})
+		return
+	}
+
+	// 16 floats ≈ 140 wire bytes: well under the 1024-byte threshold.
+	snap, last := run(16)
+	if last != 15 {
+		t.Fatalf("eager payload corrupted: last = %v", last)
+	}
+	if snap.SplitMDTransfers != 0 || snap.ArchiveTransfers == 0 {
+		t.Fatalf("sub-threshold payload should be eager: %+v", snap)
+	}
+
+	// 1024 floats ≈ 8 KiB: well over the threshold.
+	snap, last = run(1024)
+	if last != 1023 {
+		t.Fatalf("rendezvous payload corrupted: last = %v", last)
+	}
+	if snap.SplitMDTransfers == 0 {
+		t.Fatalf("super-threshold payload should take splitmd rendezvous: %+v", snap)
+	}
+}
+
+// runBroadcast broadcasts one floats-long vector from rank 0 to all ranks
+// and returns each rank's received checksum plus the root trace snapshot.
+func runBroadcast(t *testing.T, ranks, floats int, cfg parsec.Config) (sums map[int]float64, snap trace.Snapshot) {
+	t.Helper()
+	var mu sync.Mutex
+	sums = map[int]float64{}
+	rt := parsec.New(ranks, cfg)
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		out := core.NewEdge("out")
+		g.AddTT(core.TTSpec{
+			Name:    "src",
+			Inputs:  []core.InputSpec{{Edge: in}},
+			Outputs: []core.OutputSpec{{Edge: out}},
+			Keymap:  func(any) int { return 0 },
+			Body: func(ctx *core.TaskContext) {
+				v := &vec{n: floats, data: make([]float64, floats)}
+				for i := range v.data {
+					v.data[i] = float64(i % 97)
+				}
+				keys := make([]any, ranks)
+				for r := 0; r < ranks; r++ {
+					keys[r] = serde.Int1{r}
+				}
+				ctx.Broadcast(0, keys, v)
+			},
+		})
+		g.AddTT(core.TTSpec{
+			Name:   "dst",
+			Inputs: []core.InputSpec{{Edge: out}},
+			Keymap: func(k any) int { return k.(serde.Int1)[0] % ranks },
+			Body: func(ctx *core.TaskContext) {
+				v := ctx.Input(0).(*vec)
+				s := 0.0
+				for _, x := range v.data {
+					s += x
+				}
+				mu.Lock()
+				sums[ctx.Rank()] = s
+				mu.Unlock()
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			g.Seed(in, serde.Int1{0}, 0.0)
+		}
+		g.Fence()
+		if p.Rank() == 0 {
+			snap = p.Tracer().Snapshot()
+		}
+	})
+	return
+}
+
+// TestPipelinedBroadcast checks the chunked relay path delivers an
+// identical payload to every rank, and that disabling pipelining
+// (store-and-forward) produces the same result.
+func TestPipelinedBroadcast(t *testing.T) {
+	const ranks = 8
+	const floats = 16384 // 128 KiB payload, 32 chunks at 4 KiB
+
+	want := 0.0
+	for i := 0; i < floats; i++ {
+		want += float64(i % 97)
+	}
+
+	piped, snap := runBroadcast(t, ranks, floats, parsec.Config{WorkersPerRank: 1, BcastChunk: 4096})
+	if len(piped) != ranks {
+		t.Fatalf("pipelined: fired on %d ranks, want %d", len(piped), ranks)
+	}
+	for r, s := range piped {
+		if s != want {
+			t.Fatalf("pipelined: rank %d checksum %v, want %v", r, s, want)
+		}
+	}
+	// The root streams a header plus ~32 chunks per child; far more wire
+	// packets than the 3 a store-and-forward tree would use, proving the
+	// chunk path actually ran.
+	if snap.WirePackets < 32 {
+		t.Fatalf("pipelined: root sent %d wire packets; chunking did not engage", snap.WirePackets)
+	}
+
+	plain, snap := runBroadcast(t, ranks, floats, parsec.Config{WorkersPerRank: 1, BcastChunk: -1})
+	if len(plain) != ranks {
+		t.Fatalf("store-and-forward: fired on %d ranks, want %d", len(plain), ranks)
+	}
+	for r, s := range plain {
+		if s != want {
+			t.Fatalf("store-and-forward: rank %d checksum %v, want %v", r, s, want)
+		}
+	}
+	if snap.WirePackets >= 32 {
+		t.Fatalf("store-and-forward: root sent %d wire packets, expected one frame per child", snap.WirePackets)
+	}
+}

@@ -18,6 +18,11 @@ import (
 type Config struct {
 	// WorkersPerRank sizes each rank's pool (default: NumCPU/ranks).
 	WorkersPerRank int
+	// CoalesceBytes sizes the per-peer send-aggregation frame (0 default,
+	// negative disables coalescing).
+	CoalesceBytes int
+	// CoalesceCount caps messages per coalesced frame (0 default).
+	CoalesceCount int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
 	// Obs, when non-nil, enables structured event recording and metrics.
@@ -33,6 +38,8 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		TracksData:     false,
 		SplitMD:        false,
 		TreeBroadcast:  false,
+		CoalesceBytes:  cfg.CoalesceBytes,
+		CoalesceCount:  cfg.CoalesceCount,
 		Net:            cfg.Net,
 		Obs:            cfg.Obs,
 	})

@@ -25,6 +25,14 @@ type Config struct {
 	HasPolicy bool
 	// EagerThreshold is the splitmd switch-over size in bytes.
 	EagerThreshold int
+	// CoalesceBytes sizes the per-peer send-aggregation frame (0 default,
+	// negative disables coalescing).
+	CoalesceBytes int
+	// CoalesceCount caps messages per coalesced frame (0 default).
+	CoalesceCount int
+	// BcastChunk sets the pipelined-broadcast chunk size (0 default,
+	// negative forces store-and-forward).
+	BcastChunk int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
 	// Obs, when non-nil, enables structured event recording and metrics.
@@ -45,6 +53,9 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		SplitMD:        true,
 		TreeBroadcast:  true,
 		EagerThreshold: cfg.EagerThreshold,
+		CoalesceBytes:  cfg.CoalesceBytes,
+		CoalesceCount:  cfg.CoalesceCount,
+		BcastChunk:     cfg.BcastChunk,
 		Net:            cfg.Net,
 		Obs:            cfg.Obs,
 	})

@@ -68,6 +68,64 @@ func TestTreeCoversAllExactlyOnce(t *testing.T) {
 	}
 }
 
+// Children/Parent must be exact inverses for tree sizes that are not
+// powers of two, where the high-bit children are truncated: every non-root
+// rank appears exactly once among the children of exactly its parent, and
+// each child's Parent points back.
+func TestChildrenParentRoundTripNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 9, 11, 12, 13, 17, 23, 31, 33} {
+		seen := make([]int, n)
+		for r := 0; r < n; r++ {
+			for _, c := range Children(n, r) {
+				if c <= r || c >= n {
+					t.Fatalf("n=%d: Children(%d) yields out-of-range child %d", n, r, c)
+				}
+				seen[c]++
+				if p := Parent(c); p != r {
+					t.Fatalf("n=%d: Parent(%d) = %d, want %d", n, c, p, r)
+				}
+			}
+		}
+		for r := 1; r < n; r++ {
+			if seen[r] != 1 {
+				t.Fatalf("n=%d: rank %d appears %d times as a child, want 1", n, r, seen[r])
+			}
+			p := Parent(r)
+			found := false
+			for _, c := range Children(n, p) {
+				if c == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: %d missing from Children(%d)", n, r, p)
+			}
+		}
+	}
+}
+
+func TestOrderRootDuplicatedInDests(t *testing.T) {
+	order := Order(4, []int{4, 4, 1, 9, 4, 1})
+	want := []int{4, 1, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	roots := 0
+	for _, r := range order {
+		if r == 4 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("root appears %d times in %v, want exactly once", roots, order)
+	}
+}
+
 func TestOrderDeterministicAndRootFirst(t *testing.T) {
 	o1 := Order(5, []int{9, 2, 5, 7, 2})
 	o2 := Order(5, []int{2, 7, 9})

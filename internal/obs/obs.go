@@ -138,6 +138,23 @@ const (
 	CounterFolds = "core.reduce_folds"
 	// CounterBcastTrees counts planned tree broadcasts.
 	CounterBcastTrees = "bcast.trees"
+	// CounterWirePackets counts physical packets put on the fabric
+	// (after coalescing; the logical-message count is MsgsSent).
+	CounterWirePackets = "net.wire_packets"
+	// CounterWireBytes counts bytes put on the fabric, framing included.
+	CounterWireBytes = "net.wire_bytes"
+	// CounterEagerSends counts point-to-point values that traveled inline
+	// (eager protocol, below the rendezvous threshold).
+	CounterEagerSends = "net.eager_sends"
+	// CounterRendezvousSends counts values that took the split-metadata
+	// rendezvous path (metadata eager, payload via RMA).
+	CounterRendezvousSends = "net.rendezvous_sends"
+	// HistCoalesceBatch is the number of logical messages per coalesced
+	// wire packet (the coalesce ratio is its mean).
+	HistCoalesceBatch = "net.coalesce_batch"
+	// CounterBcastChunks counts pipelined-broadcast chunk packets relayed
+	// or originated by this rank.
+	CounterBcastChunks = "bcast.chunks"
 )
 
 // Config sizes a Session.

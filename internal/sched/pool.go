@@ -54,6 +54,14 @@ type Pool struct {
 	started bool
 	n       int
 
+	// Idle notification: busy counts workers not blocked in cond.Wait;
+	// when it reaches zero with no queued work, idle (if set) runs once
+	// per busy→quiescent transition. Backends hook their communication
+	// aggregators here so buffered messages flush at scheduler quiescence.
+	busy      int
+	idle      func()
+	idleFired bool
+
 	// Observability (nil when disabled): queue-depth gauge moves on every
 	// submit/pop, steal events and the steal counter fire on successful
 	// deque steals.
@@ -109,6 +117,12 @@ func (p *Pool) Observe(rec obs.Recorder) {
 // then increment its TasksStolen counter.
 func (p *Pool) Trace(tr *trace.Collector) { p.tr = tr }
 
+// OnIdle registers f to run each time the pool transitions from busy to
+// fully quiescent (every worker out of work and about to sleep). f runs on
+// the last worker to go idle, outside the pool lock, at most once per
+// quiescent period; new submissions re-arm it. Call before Start.
+func (p *Pool) OnIdle(f func()) { p.idle = f }
+
 // Start launches the worker goroutines. It is idempotent.
 func (p *Pool) Start() {
 	p.mu.Lock()
@@ -117,6 +131,7 @@ func (p *Pool) Start() {
 		return
 	}
 	p.started = true
+	p.busy = p.n
 	p.mu.Unlock()
 	for i := 0; i < p.n; i++ {
 		p.wg.Add(1)
@@ -192,6 +207,7 @@ func (p *Pool) Stop() {
 
 func (p *Pool) wake() {
 	p.mu.Lock()
+	p.idleFired = false
 	p.cond.Signal()
 	p.mu.Unlock()
 }
@@ -199,6 +215,7 @@ func (p *Pool) wake() {
 // wakeN wakes up to n idle workers after a batch submission.
 func (p *Pool) wakeN(n int) {
 	p.mu.Lock()
+	p.idleFired = false
 	if n >= p.n {
 		p.cond.Broadcast()
 	} else {
@@ -216,6 +233,7 @@ func (p *Pool) worker(id int) {
 		it, ok := p.next(id, rng)
 		if !ok {
 			p.mu.Lock()
+			p.busy--
 			for {
 				if p.done {
 					p.mu.Unlock()
@@ -226,8 +244,21 @@ func (p *Pool) worker(id int) {
 					it, ok = it2, true
 					break
 				}
+				// Last worker out with nothing queued: the pool is
+				// quiescent; fire the idle hook (once per transition)
+				// outside the lock, then re-check — the hook may have
+				// triggered remote activity that loops back as work.
+				if p.busy == 0 && p.idle != nil && !p.idleFired {
+					p.idleFired = true
+					f := p.idle
+					p.mu.Unlock()
+					f()
+					p.mu.Lock()
+					continue
+				}
 				p.cond.Wait()
 			}
+			p.busy++
 			p.mu.Unlock()
 			if !ok {
 				continue

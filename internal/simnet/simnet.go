@@ -5,11 +5,22 @@
 // and bandwidth, and a remote-memory-access (RMA) facility used by the
 // split-metadata rendezvous protocol. All payloads really cross the
 // "network" as bytes, so serialization behaves as it would over a wire.
+//
+// The fabric is contention-free on the send path: links live in a
+// preallocated per-pair table (no map, no global mutex) and each directed
+// link carries a virtual clock — an atomic "link free at" deadline advanced
+// by compare-and-swap arithmetic instead of a dedicated goroutine sleeping
+// through each packet's transfer time. Delayed packets are timed out by a
+// small fixed pool of delivery shards, so an R-rank run costs O(shards)
+// goroutines rather than O(R²).
 package simnet
 
 import (
+	"container/heap"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -34,14 +45,27 @@ type Packet struct {
 	Data     []byte
 }
 
+// link is one directed channel's virtual clock: the fabric-relative time
+// (ns since the network was built) at which the link next becomes free.
+// FIFO serialization on the link is pure deadline arithmetic — each packet
+// claims [busy, busy+transfer) by CAS, so concurrent senders never block
+// each other on a lock. Padded to a cache line so neighboring links do not
+// false-share.
+type link struct {
+	clock atomic.Int64
+	_     [56]byte
+}
+
 // Network is a set of endpoints connected pairwise.
 type Network struct {
-	cfg    Config
-	eps    []*Endpoint
-	mu     sync.Mutex
-	links  map[[2]int]*link
-	closed bool
-	wg     sync.WaitGroup
+	cfg     Config
+	eps     []*Endpoint
+	links   []link // ranks*ranks, indexed src*ranks+dst
+	shards  []*linkShard
+	start   time.Time
+	delayed bool
+	closed  atomic.Bool
+	wg      sync.WaitGroup
 
 	// inflight, when non-nil, gauges packets sent but not yet received
 	// across the whole fabric (the obs.GaugeInflightMsgs metric).
@@ -57,10 +81,27 @@ func New(cfg Config) *Network {
 	if cfg.Ranks < 1 {
 		panic("simnet: need at least one rank")
 	}
-	n := &Network{cfg: cfg, links: map[[2]int]*link{}}
+	n := &Network{
+		cfg:     cfg,
+		start:   time.Now(),
+		delayed: cfg.Latency > 0 || cfg.BandwidthBps > 0,
+	}
 	n.eps = make([]*Endpoint, cfg.Ranks)
 	for i := range n.eps {
 		n.eps[i] = newEndpoint(n, i)
+	}
+	if n.delayed {
+		n.links = make([]link, cfg.Ranks*cfg.Ranks)
+		ns := cfg.Ranks
+		if ns > 8 {
+			ns = 8
+		}
+		n.shards = make([]*linkShard, ns)
+		for i := range n.shards {
+			n.shards[i] = &linkShard{net: n, wake: make(chan struct{}, 1)}
+			n.wg.Add(1)
+			go n.shards[i].run()
+		}
 	}
 	return n
 }
@@ -74,19 +115,14 @@ func (n *Network) Endpoint(rank int) *Endpoint { return n.eps[rank] }
 // Close tears the network down: in-flight packets on delayed links are
 // delivered, then every inbox is closed so receivers can exit.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if !n.closed.CompareAndSwap(false, true) {
 		return
 	}
-	n.closed = true
-	links := make([]*link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
-	}
-	n.mu.Unlock()
-	for _, l := range links {
-		l.close()
+	for _, s := range n.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.signal()
 	}
 	n.wg.Wait()
 	for _, ep := range n.eps {
@@ -102,67 +138,152 @@ func (n *Network) transferTime(bytes int) time.Duration {
 	return d
 }
 
-// deliver routes a packet, possibly through a delayed ordered link.
+// now returns the fabric-relative clock reading in nanoseconds.
+func (n *Network) now() int64 { return int64(time.Since(n.start)) }
+
+// deliver routes a packet, possibly through a delayed link. Sends on a
+// closed fabric drop without allocating (callers have already quiesced).
 func (n *Network) deliver(p Packet) {
+	if n.closed.Load() {
+		return
+	}
 	if n.inflight != nil {
 		n.inflight.Add(1)
 	}
-	if n.cfg.Latency == 0 && n.cfg.BandwidthBps == 0 {
-		n.eps[p.Dst].inbox.push(p)
+	if !n.delayed {
+		n.dropOrCount(n.eps[p.Dst].inbox.push(p))
 		return
 	}
-	n.link(p.Src, p.Dst).send(p)
-}
-
-func (n *Network) link(src, dst int) *link {
-	key := [2]int{src, dst}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		// Drop traffic during teardown; callers have already quiesced.
-		return &link{dropped: true}
-	}
-	l, ok := n.links[key]
-	if !ok {
-		l = newLink(n, dst)
-		n.links[key] = l
-		n.wg.Add(1)
-		go l.run()
-	}
-	return l
-}
-
-// link models one directed channel with FIFO ordering: packets serialize on
-// the link, so a large transfer delays subsequent ones (back-pressure).
-type link struct {
-	net     *Network
-	dst     int
-	q       *queue[Packet]
-	dropped bool
-}
-
-func newLink(n *Network, dst int) *link {
-	return &link{net: n, dst: dst, q: newQueue[Packet]()}
-}
-
-func (l *link) send(p Packet) {
-	if l.dropped {
-		return
-	}
-	l.q.push(p)
-}
-
-func (l *link) close() { l.q.close() }
-
-func (l *link) run() {
-	defer l.net.wg.Done()
+	// Claim the link: the packet occupies [busy, busy+xfer) of the link's
+	// virtual time, serializing behind everything already claimed (FIFO
+	// back-pressure — a large transfer delays subsequent ones) without a
+	// lock or a per-link goroutine.
+	li := p.Src*len(n.eps) + p.Dst
+	l := &n.links[li]
+	xfer := int64(n.transferTime(len(p.Data)))
+	now := n.now()
+	var at int64
 	for {
-		p, ok := l.q.pop()
-		if !ok {
-			return
+		cur := l.clock.Load()
+		busy := now
+		if cur > busy {
+			busy = cur
 		}
-		time.Sleep(l.net.transferTime(len(p.Data)))
-		l.net.eps[l.dst].inbox.push(p)
+		at = busy + xfer
+		if l.clock.CompareAndSwap(cur, at) {
+			break
+		}
+	}
+	n.shards[li%len(n.shards)].add(p, at)
+}
+
+// dropOrCount rebalances the in-flight gauge when a push found a closed
+// inbox (teardown races): the packet was counted sent but can never be
+// received.
+func (n *Network) dropOrCount(delivered bool) {
+	if !delivered && n.inflight != nil {
+		n.inflight.Add(-1)
+	}
+}
+
+// pend is one delayed packet awaiting its delivery deadline.
+type pend struct {
+	at  int64
+	seq uint64
+	p   Packet
+}
+
+// pendHeap orders pending deliveries by (deadline, arrival sequence); the
+// sequence tie-break keeps same-deadline packets in submission order.
+type pendHeap []pend
+
+func (h pendHeap) Len() int { return len(h) }
+func (h pendHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pend)) }
+func (h *pendHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = pend{}
+	*h = old[:n-1]
+	return v
+}
+func (h pendHeap) peek() pend { return h[0] }
+
+// spinWaitNs is the deadline horizon under which a delivery shard spins
+// (yielding the processor each pass) rather than arming an OS timer.
+const spinWaitNs = 100_000
+
+// linkShard times out delayed deliveries for a fixed subset of links. One
+// goroutine per shard replaces the goroutine-per-directed-link design; the
+// heap orders packets by their precomputed deadlines, so waiting is a
+// single timer rather than a serial sleep per packet.
+type linkShard struct {
+	net    *Network
+	mu     sync.Mutex
+	h      pendHeap
+	seq    uint64
+	closed bool
+	wake   chan struct{}
+}
+
+func (s *linkShard) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *linkShard) add(p Packet, at int64) {
+	s.mu.Lock()
+	s.seq++
+	heap.Push(&s.h, pend{at: at, seq: s.seq, p: p})
+	s.mu.Unlock()
+	s.signal()
+}
+
+func (s *linkShard) run() {
+	defer s.net.wg.Done()
+	for {
+		s.mu.Lock()
+		if len(s.h) == 0 {
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			<-s.wake
+			continue
+		}
+		head := s.h.peek()
+		now := s.net.now()
+		if head.at > now {
+			s.mu.Unlock()
+			// OS timers overshoot by far more than a fine-grained transfer
+			// time (e.g. one pipelined-broadcast chunk), which would distort
+			// the model; spin through short waits and only arm a timer for
+			// long ones.
+			if head.at-now < spinWaitNs {
+				runtime.Gosched()
+				continue
+			}
+			t := time.NewTimer(time.Duration(head.at - now))
+			select {
+			case <-t.C:
+			case <-s.wake:
+				t.Stop()
+			}
+			continue
+		}
+		heap.Pop(&s.h)
+		s.mu.Unlock()
+		s.net.dropOrCount(s.net.eps[head.p.Dst].inbox.push(head.p))
 	}
 }
 
@@ -334,15 +455,18 @@ func newQueue[T any]() *queue[T] {
 	return q
 }
 
-func (q *queue[T]) push(v T) {
+// push enqueues v; it reports false when the queue is closed and the value
+// was dropped.
+func (q *queue[T]) push(v T) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	q.items = append(q.items, v)
 	q.mu.Unlock()
 	q.cond.Signal()
+	return true
 }
 
 func (q *queue[T]) pop() (T, bool) {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestPointToPointDelivery(t *testing.T) {
@@ -235,6 +237,63 @@ func TestSendAfterCloseDropped(t *testing.T) {
 		t.Fatal("pre-close packet lost")
 	}
 	n.Close()
-	// Dropped silently: the link factory hands back a closed stub.
+	// Dropped silently at the closed-fabric check.
 	n.Endpoint(0).Send(1, 0, []byte{2})
+}
+
+func TestSendAfterCloseAllocFree(t *testing.T) {
+	for _, cfg := range []Config{
+		{Ranks: 2},
+		{Ranks: 2, Latency: time.Microsecond},
+	} {
+		n := New(cfg)
+		n.Close()
+		payload := []byte{1}
+		if allocs := testing.AllocsPerRun(100, func() {
+			n.Endpoint(0).Send(1, 0, payload)
+		}); allocs != 0 {
+			t.Errorf("post-close send allocates %.1f times (cfg %+v), want 0", allocs, cfg)
+		}
+	}
+}
+
+func TestInflightGaugeZeroAfterClose(t *testing.T) {
+	for _, cfg := range []Config{
+		{Ranks: 4},
+		{Ranks: 4, Latency: 20 * time.Microsecond},
+	} {
+		n := New(cfg)
+		var reg obs.Registry
+		g := reg.Gauge(obs.GaugeInflightMsgs)
+		n.Observe(g)
+		const per = 25
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				if dst == src {
+					continue
+				}
+				for i := 0; i < per; i++ {
+					n.Endpoint(src).Send(dst, 1, []byte{byte(i)})
+				}
+			}
+		}
+		// Close drains delayed links into the inboxes; receivers may still
+		// pop what was delivered before teardown.
+		n.Close()
+		for dst := 0; dst < 4; dst++ {
+			for {
+				if _, ok := n.Endpoint(dst).Recv(); !ok {
+					break
+				}
+			}
+		}
+		if v := g.Load(); v != 0 {
+			t.Fatalf("in-flight gauge = %d after close+drain (cfg %+v), want 0", v, cfg)
+		}
+		// Post-close sends are dropped before being counted.
+		n.Endpoint(0).Send(1, 0, []byte{9})
+		if v := g.Load(); v != 0 {
+			t.Fatalf("post-close send moved the gauge to %d", v)
+		}
+	}
 }

@@ -23,6 +23,8 @@ type Collector struct {
 	ArchiveTransfers atomic.Int64 // payloads moved via whole-object archives
 	BcastsForwarded  atomic.Int64 // tree-broadcast forwards performed
 	TasksStolen      atomic.Int64
+	WirePackets      atomic.Int64 // physical fabric packets (post-coalescing)
+	CoalescedMsgs    atomic.Int64 // logical messages that shared a wire packet
 }
 
 // Snapshot is an immutable copy of a Collector's counters.
@@ -38,6 +40,8 @@ type Snapshot struct {
 	ArchiveTransfers int64
 	BcastsForwarded  int64
 	TasksStolen      int64
+	WirePackets      int64
+	CoalescedMsgs    int64
 }
 
 // Snapshot captures the current counter values.
@@ -54,6 +58,8 @@ func (c *Collector) Snapshot() Snapshot {
 		ArchiveTransfers: c.ArchiveTransfers.Load(),
 		BcastsForwarded:  c.BcastsForwarded.Load(),
 		TasksStolen:      c.TasksStolen.Load(),
+		WirePackets:      c.WirePackets.Load(),
+		CoalescedMsgs:    c.CoalescedMsgs.Load(),
 	}
 }
 
@@ -72,13 +78,16 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		ArchiveTransfers: s.ArchiveTransfers + o.ArchiveTransfers,
 		BcastsForwarded:  s.BcastsForwarded + o.BcastsForwarded,
 		TasksStolen:      s.TasksStolen + o.TasksStolen,
+		WirePackets:      s.WirePackets + o.WirePackets,
+		CoalescedMsgs:    s.CoalescedMsgs + o.CoalescedMsgs,
 	}
 }
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"tasks=%d msgs=%d/%d bytes=%d/%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d",
+		"tasks=%d msgs=%d/%d bytes=%d/%d pkts=%d coalesced=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d",
 		s.TasksExecuted, s.MsgsSent, s.MsgsReceived, s.BytesSent, s.BytesReceived,
+		s.WirePackets, s.CoalescedMsgs,
 		s.DataCopies, s.CopiesAvoided, s.SplitMDTransfers, s.ArchiveTransfers,
 		s.BcastsForwarded, s.TasksStolen)
 }

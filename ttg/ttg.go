@@ -103,6 +103,16 @@ type Config struct {
 	HasPolicy bool
 	// EagerThreshold overrides the splitmd switch-over size (bytes).
 	EagerThreshold int
+	// CoalesceBytes sizes the per-peer send-aggregation frame: small
+	// messages to the same destination share one wire packet. Zero means
+	// the backend default (8 KiB); negative disables coalescing.
+	CoalesceBytes int
+	// CoalesceCount caps logical messages per coalesced frame (default 32).
+	CoalesceCount int
+	// BcastChunk sets the pipelined-broadcast chunk size (PaRSEC-model
+	// only). Zero means the 128 KiB default; negative forces
+	// store-and-forward relaying.
+	BcastChunk int
 	// Obs, when non-nil, enables the unified observability layer: each
 	// rank records task-lifecycle events and metrics into the session,
 	// readable after Run via Session.Report, Session.ChromeJSON, and
@@ -190,6 +200,8 @@ func Run(cfg Config, main func(pc *Process)) {
 	case MADNESS:
 		rt = madness.New(cfg.Ranks, madness.Config{
 			WorkersPerRank: cfg.WorkersPerRank,
+			CoalesceBytes:  cfg.CoalesceBytes,
+			CoalesceCount:  cfg.CoalesceCount,
 			Net:            cfg.Net,
 			Obs:            cfg.Obs,
 		})
@@ -199,6 +211,9 @@ func Run(cfg Config, main func(pc *Process)) {
 			Policy:         cfg.Policy,
 			HasPolicy:      cfg.HasPolicy,
 			EagerThreshold: cfg.EagerThreshold,
+			CoalesceBytes:  cfg.CoalesceBytes,
+			CoalesceCount:  cfg.CoalesceCount,
+			BcastChunk:     cfg.BcastChunk,
 			Net:            cfg.Net,
 			Obs:            cfg.Obs,
 		})
