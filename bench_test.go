@@ -876,3 +876,100 @@ func BenchmarkCommBroadcastPipelined(b *testing.B) {
 func BenchmarkCommBroadcastStoreForward(b *testing.B) {
 	benchCommBcast(b, -1)
 }
+
+// --- Data-lifetime microbenchmarks (DESIGN.md §8): read-only fan-out
+// sharing vs the always-clone default, and lazy copy-on-write
+// materialization for writers. ---
+
+// benchCoWFanout broadcasts a 64 KiB payload to 8 consumers per
+// iteration. With read-only terminals the consumers share one tracked
+// value (zero clones); with default-access terminals every consumer gets
+// its own deep copy — the pre-access-mode behavior.
+func benchCoWFanout(b *testing.B, access func(ttg.In[ttg.Int2, []float64]) ttg.In[ttg.Int2, []float64]) {
+	const fanout = 8
+	const words = 8 << 10
+	n := b.N
+	b.ReportAllocs()
+	b.SetBytes(8 * words * fanout)
+	ttg.Run(ttg.Config{Ranks: 1, WorkersPerRank: 1}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		drive := ttg.NewEdge[ttg.Int1, float64]("drive")
+		fan := ttg.NewEdge[ttg.Int2, []float64]("fan")
+		var sink atomic.Int64
+		ttg.MakeTT1(g, "producer", ttg.Input(drive), ttg.Out(fan),
+			func(x *ttg.Ctx[ttg.Int1], _ float64) {
+				v := make([]float64, words)
+				v[0] = 1
+				keys := make([]ttg.Int2, fanout)
+				for c := range keys {
+					keys[c] = ttg.Int2{x.Key()[0], c}
+				}
+				ttg.Broadcast(x, fan, keys, v)
+			})
+		ttg.MakeTT1(g, "reader", access(ttg.Input(fan)), nil,
+			func(x *ttg.Ctx[ttg.Int2], v []float64) { sink.Add(int64(v[0])) })
+		g.MakeExecutable()
+		b.ResetTimer()
+		for i := 0; i < n; i++ {
+			ttg.Seed(g, drive, ttg.Int1{i}, 0)
+		}
+		g.Fence()
+		b.StopTimer()
+		if got := sink.Load(); got != int64(n*fanout) {
+			b.Fatalf("readers saw %d, want %d", got, n*fanout)
+		}
+	})
+}
+
+func BenchmarkCoWSharedReadFanout(b *testing.B) {
+	benchCoWFanout(b, func(in ttg.In[ttg.Int2, []float64]) ttg.In[ttg.Int2, []float64] {
+		return in.ReadOnly()
+	})
+}
+
+func BenchmarkCoWAlwaysCloneFanout(b *testing.B) {
+	benchCoWFanout(b, func(in ttg.In[ttg.Int2, []float64]) ttg.In[ttg.Int2, []float64] {
+		return in
+	})
+}
+
+// BenchmarkCoWWriterMaterialize fans one payload to 8 read-write
+// consumers: clones materialize lazily at task start and the last live
+// reference is taken in place, so at most fanout-1 clones happen instead
+// of the eager fanout.
+func BenchmarkCoWWriterMaterialize(b *testing.B) {
+	const fanout = 8
+	const words = 8 << 10
+	n := b.N
+	b.ReportAllocs()
+	ttg.Run(ttg.Config{Ranks: 1, WorkersPerRank: 1}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		drive := ttg.NewEdge[ttg.Int1, float64]("drive")
+		fan := ttg.NewEdge[ttg.Int2, []float64]("fan")
+		var sink atomic.Int64
+		ttg.MakeTT1(g, "producer", ttg.Input(drive), ttg.Out(fan),
+			func(x *ttg.Ctx[ttg.Int1], _ float64) {
+				v := make([]float64, words)
+				keys := make([]ttg.Int2, fanout)
+				for c := range keys {
+					keys[c] = ttg.Int2{x.Key()[0], c}
+				}
+				ttg.Broadcast(x, fan, keys, v)
+			})
+		ttg.MakeTT1(g, "writer", ttg.Input(fan).ReadWrite(), nil,
+			func(x *ttg.Ctx[ttg.Int2], v []float64) {
+				v[0]++ // exclusive by contract
+				sink.Add(int64(v[0]))
+			})
+		g.MakeExecutable()
+		b.ResetTimer()
+		for i := 0; i < n; i++ {
+			ttg.Seed(g, drive, ttg.Int1{i}, 0)
+		}
+		g.Fence()
+		b.StopTimer()
+		if got := sink.Load(); got != int64(n*fanout) {
+			b.Fatalf("writers saw %d, want %d", got, n*fanout)
+		}
+	})
+}

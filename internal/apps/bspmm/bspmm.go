@@ -388,8 +388,10 @@ func (a *App) buildTTG() {
 	)
 
 	// LStoreA: node-local tile store. Forwards the tile to the (gated)
-	// local broadcast and acknowledges the read window (loop 1).
-	ttg.MakeTT1(g, "LStoreA", ttg.Input(a.storeA),
+	// local broadcast and acknowledges the read window (loop 1). The
+	// store only reads the tile; the Move re-send escape-marks the held
+	// value so the tracker never reclaims it under the forward.
+	ttg.MakeTT1(g, "LStoreA", ttg.Input(a.storeA).ReadOnly(),
 		ttg.Out(a.lbTileA, a.readGateA),
 		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
 			i, k := x.Key()[0], x.Key()[1]
@@ -402,7 +404,7 @@ func (a *App) buildTTG() {
 		},
 		ttg.Options[ttg.Int3]{Keymap: func(k ttg.Int3) int { return k[2] }},
 	)
-	ttg.MakeTT1(g, "LStoreB", ttg.Input(a.storeB),
+	ttg.MakeTT1(g, "LStoreB", ttg.Input(a.storeB).ReadOnly(),
 		ttg.Out(a.lbTileB, a.readGateB),
 		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
 			k, j := x.Key()[0], x.Key()[1]
@@ -418,7 +420,7 @@ func (a *App) buildTTG() {
 
 	// LBcastA: coordinator-gated local fan-out to the MultiplyAdds
 	// (loop 2); LBcastB fans out freely.
-	ttg.MakeTT2(g, "LBcastA", ttg.Input(a.lbTileA), ttg.Input(a.lbGoA),
+	ttg.MakeTT2(g, "LBcastA", ttg.Input(a.lbTileA).ReadOnly(), ttg.Input(a.lbGoA),
 		ttg.Out(a.maA),
 		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile, _ ttg.Void) {
 			i, k, r := x.Key()[0], x.Key()[1], x.Key()[2]
@@ -432,7 +434,7 @@ func (a *App) buildTTG() {
 		},
 		ttg.Options[ttg.Int3]{Keymap: func(k ttg.Int3) int { return k[2] }},
 	)
-	ttg.MakeTT1(g, "LBcastB", ttg.Input(a.lbTileB),
+	ttg.MakeTT1(g, "LBcastB", ttg.Input(a.lbTileB).ReadOnly(),
 		ttg.Out(a.maB),
 		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
 			k, j, r := x.Key()[0], x.Key()[1], x.Key()[2]
@@ -492,7 +494,7 @@ func (a *App) buildMultiplyAdd(aIn, bIn, cIn ttg.Edge[ttg.Int3, *tile.Tile], out
 		outs = append(outs, ttg.Out(a.coord)...)
 	}
 	ttg.MakeTT3(a.g, "MultiplyAdd",
-		ttg.Input(aIn), ttg.Input(bIn), ttg.Input(cIn),
+		ttg.ConstInput(aIn), ttg.ConstInput(bIn), ttg.Input(cIn).ReadWrite(),
 		outs,
 		func(x *ttg.Ctx[ttg.Int3], at, bt, ct *tile.Tile) {
 			i, j, k := x.Key()[0], x.Key()[1], x.Key()[2]
@@ -532,9 +534,10 @@ func (a *App) buildOut(in ttg.Edge[ttg.Int2, *tile.Tile], keymapFn func(ttg.Int2
 	if keymapFn == nil {
 		keymapFn = func(k ttg.Int2) int { return a.ownerC(k[0], k[1]) }
 	}
-	ttg.MakeTT1(a.g, "OutC", ttg.Input(in), nil,
+	ttg.MakeTT1(a.g, "OutC", ttg.ConstInput(in), nil,
 		func(x *ttg.Ctx[ttg.Int2], t *tile.Tile) {
 			if a.opts.OnResult != nil {
+				x.Retain(t) // result tiles outlive the task body
 				a.opts.OnResult(x.Key()[0], x.Key()[1], t)
 			}
 		},
@@ -583,7 +586,7 @@ func (a *App) seedTTG() {
 			continue
 		}
 		ks := a.tasks[key]
-		ttg.Seed(a.g, a.maC, ttg.Int3{key[0], key[1], ks[0]}, a.zeroC(key[0], key[1]))
+		ttg.SeedM(a.g, a.maC, ttg.Int3{key[0], key[1], ks[0]}, a.zeroC(key[0], key[1]), ttg.Move)
 	}
 }
 

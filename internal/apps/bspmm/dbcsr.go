@@ -122,6 +122,23 @@ func (a *App) buildDBCSR() {
 	mat := a.opts.A
 	bsp := a.opts.Variant == DBCSRModel // TTG25D drops the step barriers
 
+	// Terminal access modes are a TTG capability; the DBCSR model keeps
+	// default (copying) semantics — the real library moves panels through
+	// its own communication buffers — while the TTG 2.5D conversion
+	// declares const/mutable access and inherits the copy avoidance.
+	roTile := func(e ttg.Edge[ttg.Int3, *tile.Tile]) ttg.In[ttg.Int3, *tile.Tile] {
+		if bsp {
+			return ttg.Input(e)
+		}
+		return ttg.ConstInput(e)
+	}
+	rwTile := func(e ttg.Edge[ttg.Int3, *tile.Tile]) ttg.In[ttg.Int3, *tile.Tile] {
+		if bsp {
+			return ttg.Input(e)
+		}
+		return ttg.Input(e).ReadWrite()
+	}
+
 	a.shiftGoA = ttg.NewEdge[ttg.Int2, ttg.Void]("shift_go_a")
 	a.shiftGoB = ttg.NewEdge[ttg.Int2, ttg.Void]("shift_go_b")
 	a.storeA = ttg.NewEdge[ttg.Int3, *tile.Tile]("store_a")
@@ -170,7 +187,7 @@ func (a *App) buildDBCSR() {
 
 	// Local stores fan out directly to the MultiplyAdds (no coordinator
 	// in the bulk-synchronous model).
-	ttg.MakeTT1(g, "LStoreA", ttg.Input(a.storeA),
+	ttg.MakeTT1(g, "LStoreA", roTile(a.storeA),
 		ttg.Out(a.maA),
 		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
 			i, k, r := x.Key()[0], x.Key()[1], x.Key()[2]
@@ -185,7 +202,7 @@ func (a *App) buildDBCSR() {
 		},
 		ttg.Options[ttg.Int3]{Keymap: func(k ttg.Int3) int { return k[2] }},
 	)
-	ttg.MakeTT1(g, "LStoreB", ttg.Input(a.storeB),
+	ttg.MakeTT1(g, "LStoreB", roTile(a.storeB),
 		ttg.Out(a.maB),
 		func(x *ttg.Ctx[ttg.Int3], t *tile.Tile) {
 			k, j, r := x.Key()[0], x.Key()[1], x.Key()[2]
@@ -204,7 +221,7 @@ func (a *App) buildDBCSR() {
 	// MultiplyAdd: chains per-layer partial products, notifies the step
 	// barrier, and hands the finished layer partial to the reduction.
 	ttg.MakeTT3(g, "MultiplyAdd",
-		ttg.Input(a.maA), ttg.Input(a.maB), ttg.Input(a.maC),
+		roTile(a.maA), roTile(a.maB), rwTile(a.maC),
 		ttg.Out(a.maC, a.reduceC, a.stepDone),
 		func(x *ttg.Ctx[ttg.Int3], at, bt, ct *tile.Tile) {
 			i, j, k := x.Key()[0], x.Key()[1], x.Key()[2]
@@ -342,7 +359,11 @@ func (a *App) seedDBCSR() {
 			if a.ownerCLayer(key[0], key[1], l) != me {
 				continue
 			}
-			ttg.Seed(a.g, a.maC, ttg.Int3{key[0], key[1], ks[0]}, a.zeroC(key[0], key[1]))
+			if a.opts.Variant == TTG25D {
+				ttg.SeedM(a.g, a.maC, ttg.Int3{key[0], key[1], ks[0]}, a.zeroC(key[0], key[1]), ttg.Move)
+			} else {
+				ttg.Seed(a.g, a.maC, ttg.Int3{key[0], key[1], ks[0]}, a.zeroC(key[0], key[1]))
+			}
 		}
 	}
 }

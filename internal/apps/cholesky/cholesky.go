@@ -221,18 +221,27 @@ func (a *App) build() {
 		Priomap: func(k ttg.Int3) int64 { return a.prio(k[2], 0) },
 	}
 
+	// Terminal access modes (the paper's const-ref vs mutable flows): the
+	// factor tiles broadcast by POTRF/TRSM are only read downstream
+	// (ConstInput), while each kernel's accumulation tile is mutated in
+	// place (ReadWrite). The runtime shares the read-only fan-out and
+	// materializes writer copies lazily.
 	if !bsp {
-		ttg.MakeTT1(a.g, "POTRF", ttg.Input(a.initPotrf),
+		ttg.MakeTT1(a.g, "POTRF", ttg.Input(a.initPotrf).ReadWrite(),
 			ttg.Out(a.result, a.potrfTrsm), potrfBody, potrfOpts)
-		ttg.MakeTT2(a.g, "TRSM", ttg.Input(a.potrfTrsm), ttg.Input(a.trsmA),
+		ttg.MakeTT2(a.g, "TRSM", ttg.ConstInput(a.potrfTrsm), ttg.Input(a.trsmA).ReadWrite(),
 			ttg.Out(a.result, a.trsmSyrk, a.gemmRow, a.gemmCol), trsmBody, trsmOpts)
-		ttg.MakeTT2(a.g, "SYRK", ttg.Input(a.trsmSyrk), ttg.Input(a.syrkC),
+		ttg.MakeTT2(a.g, "SYRK", ttg.ConstInput(a.trsmSyrk), ttg.Input(a.syrkC).ReadWrite(),
 			ttg.Out(a.initPotrf, a.syrkC), syrkBody, syrkOpts)
-		ttg.MakeTT3(a.g, "GEMM", ttg.Input(a.gemmRow), ttg.Input(a.gemmCol), ttg.Input(a.gemmC),
+		ttg.MakeTT3(a.g, "GEMM", ttg.ConstInput(a.gemmRow), ttg.ConstInput(a.gemmCol), ttg.Input(a.gemmC).ReadWrite(),
 			ttg.Out(a.trsmA, a.gemmC), gemmBody, gemmOpts)
 	} else {
 		// Bulk-synchronous variants: every kernel is additionally gated by
-		// a GO token from the phase barrier.
+		// a GO token from the phase barrier. Terminals stay on default
+		// access — the ScaLAPACK/SLATE-model libraries these comparators
+		// emulate copy panels into workspaces rather than letting a runtime
+		// own data lifetimes, so they must not inherit the TTG variant's
+		// copy avoidance.
 		ttg.MakeTT2(a.g, "POTRF", ttg.Input(a.initPotrf), ttg.Input(a.goPotrf),
 			ttg.Out(a.result, a.potrfTrsm, a.done),
 			func(x *ttg.Ctx[ttg.Int1], t *tile.Tile, _ ttg.Void) { potrfBody(x, t) },
@@ -252,9 +261,12 @@ func (a *App) build() {
 		a.buildBarrier()
 	}
 
-	ttg.MakeTT1(a.g, "RESULT", ttg.Input(a.result), nil,
+	ttg.MakeTT1(a.g, "RESULT", ttg.ConstInput(a.result), nil,
 		func(x *ttg.Ctx[ttg.Int2], t *tile.Tile) {
 			if a.opts.OnResult != nil {
+				// The callback stores the factor tile; keep it alive past
+				// the task.
+				x.Retain(t)
 				a.opts.OnResult(x.Key()[0], x.Key()[1], t)
 			}
 		},
@@ -380,16 +392,19 @@ func (a *App) Seed() {
 			if a.owner2(ttg.Int2{i, j}) != me {
 				continue
 			}
+			// Move: the freshly materialized tile belongs to the graph;
+			// consumers take it without the per-seed clone a copying seed
+			// would pay.
 			t := a.InputTile(i, j)
 			switch {
 			case i == 0 && j == 0:
-				ttg.Seed(a.g, a.initPotrf, ttg.Int1{0}, t)
+				ttg.SeedM(a.g, a.initPotrf, ttg.Int1{0}, t, ttg.Move)
 			case i == j:
-				ttg.Seed(a.g, a.syrkC, ttg.Int2{i, 0}, t)
+				ttg.SeedM(a.g, a.syrkC, ttg.Int2{i, 0}, t, ttg.Move)
 			case j == 0:
-				ttg.Seed(a.g, a.trsmA, ttg.Int2{i, 0}, t)
+				ttg.SeedM(a.g, a.trsmA, ttg.Int2{i, 0}, t, ttg.Move)
 			default:
-				ttg.Seed(a.g, a.gemmC, ttg.Int3{i, j, 0}, t)
+				ttg.SeedM(a.g, a.gemmC, ttg.Int3{i, j, 0}, t, ttg.Move)
 			}
 		}
 	}

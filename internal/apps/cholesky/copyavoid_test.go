@@ -1,0 +1,83 @@
+package cholesky
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/backend/sim"
+	"repro/internal/cluster"
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// TestCholeskyCopyAvoidance pins the data-lifetime layer's effect on the
+// paper workload: the 16x16-tile potrf on 4 simulated ranks made 682 deep
+// copies before terminal access modes existed (every fan-out cloned per
+// consumer). With const/mutable access declared, read-only panel fan-outs
+// share one tracked value and the trailing-update chains mutate in place,
+// so the copy count must stay at least 5x below that baseline.
+func TestCholeskyCopyAvoidance(t *testing.T) {
+	const baselineCopies = 682 // measured at the pre-access-mode seed
+	grid := tile.Grid{N: 16 * 512, NB: 512}
+	machine := cluster.Hawk()
+	rt := sim.New(sim.Config{
+		Ranks:   4,
+		Machine: machine,
+		Flavor:  cluster.ParsecFlavor(),
+		Cost:    CostModel(grid, machine),
+	})
+	var copies, avoided, tasks int64
+	var mu sync.Mutex
+	rt.Run(func(p *sim.Proc) {
+		g := ttg.NewGraphOn(p)
+		app := Build(g, Options{Grid: grid, Phantom: true, Priorities: true})
+		g.MakeExecutable()
+		app.Seed()
+		g.Fence()
+		mu.Lock()
+		s := p.Tracer().Snapshot()
+		copies += s.DataCopies
+		avoided += s.CopiesAvoided
+		tasks += s.TasksExecuted
+		mu.Unlock()
+	})
+	t.Logf("16x16 sim potrf 4 ranks: tasks=%d copies=%d avoided=%d", tasks, copies, avoided)
+	// potrf + trsm + syrk + gemm + result tasks for an nt-tile factorization.
+	nt := int64(grid.NT())
+	if want := nt + nt*(nt-1) + nt*(nt-1)*(nt-2)/6 + nt*(nt+1)/2; tasks != want {
+		t.Fatalf("task count changed: %d, want %d", tasks, want)
+	}
+	if copies*5 > baselineCopies {
+		t.Errorf("data copies = %d, want <= %d (5x under the %d baseline)",
+			copies, baselineCopies/5, baselineCopies)
+	}
+	if avoided == 0 {
+		t.Errorf("no copies avoided; data tracking appears disabled")
+	}
+}
+
+// TestCholeskyAccessModesPreserveFactorization reruns the real-numerics
+// factorization on both backends (tracking and eager-copy) and checks the
+// results agree tile-for-tile: sharing and in-place mutation must not
+// change the arithmetic.
+func TestCholeskyAccessModesPreserveFactorization(t *testing.T) {
+	grid := tile.Grid{N: 64, NB: 16}
+	parsec := runReal(t, ttg.PaRSEC, TTGVariant, 4, grid, true)
+	madness := runReal(t, ttg.MADNESS, TTGVariant, 4, grid, false)
+	expectFactor(t, grid, parsec)
+	expectFactor(t, grid, madness)
+	for k, pt := range parsec {
+		mt, ok := madness[k]
+		if !ok {
+			t.Fatalf("tile %v missing from MADNESS run", k)
+		}
+		if len(pt.Data) != len(mt.Data) {
+			t.Fatalf("tile %v shape differs", k)
+		}
+		for i := range pt.Data {
+			if pt.Data[i] != mt.Data[i] {
+				t.Fatalf("tile %v element %d differs: %v vs %v", k, i, pt.Data[i], mt.Data[i])
+			}
+		}
+	}
+}

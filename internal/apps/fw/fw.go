@@ -133,6 +133,26 @@ func (a *App) chain(x ttg.Context, i, j, r int, t *tile.Tile, mode ttg.Mode) {
 	}
 }
 
+// chainTarget is chain as a broadcast target, so a panel broadcast and the
+// tile's continuation to round r can travel as ONE emission — every
+// consumer then shares a single tracked value and the round-r writer
+// materializes its copy lazily, instead of the sender cloning eagerly.
+func (a *App) chainTarget(i, j, r int) ttg.Target[*tile.Tile] {
+	if r == a.nt {
+		return ttg.To(a.out, ttg.Int2{i, j})
+	}
+	switch {
+	case i == r && j == r:
+		return ttg.To(a.toA, ttg.Int1{r})
+	case i == r:
+		return ttg.To(a.toB, ttg.Int3{i, j, r})
+	case j == r:
+		return ttg.To(a.toC, ttg.Int3{i, j, r})
+	default:
+		return ttg.To(a.toD, ttg.Int3{i, j, r})
+	}
+}
+
 func (a *App) build() {
 	nt := a.nt
 	fj := a.opts.Variant == ForkJoinModel
@@ -149,13 +169,25 @@ func (a *App) build() {
 				cs = append(cs, ttg.Int3{j, k, k})
 			}
 		}
-		ttg.BroadcastMulti(x, t, ttg.Borrow,
-			ttg.To(a.diagB, bs...),
-			ttg.To(a.diagC, cs...),
-		)
-		// The diagonal tile itself continues to the next round; copied
-		// because the borrowers above still read the original.
-		a.chain(x, k, k, k+1, t, ttg.Copy)
+		if fj {
+			// Fork-join comparator: the modeled MPI+OpenMP code copies the
+			// panel; the borrowers still read the original, so the
+			// continuation is an eager clone.
+			ttg.BroadcastMulti(x, t, ttg.Borrow,
+				ttg.To(a.diagB, bs...),
+				ttg.To(a.diagC, cs...),
+			)
+			a.chain(x, k, k, k+1, t, ttg.Copy)
+		} else {
+			// One moved emission: readers and the round-k+1 continuation
+			// share the tile; the next writer clones only if readers are
+			// still live when it starts (copy-on-write).
+			ttg.BroadcastMulti(x, t, ttg.Move,
+				ttg.To(a.diagB, bs...),
+				ttg.To(a.diagC, cs...),
+				a.chainTarget(k, k, k+1),
+			)
+		}
 		a.notify(x, k)
 	}
 
@@ -171,8 +203,15 @@ func (a *App) build() {
 				ds = append(ds, ttg.Int3{i, j, k})
 			}
 		}
-		ttg.BroadcastM(x, a.rowD, ds, t, ttg.Borrow)
-		a.chain(x, k, j, k+1, t, ttg.Copy)
+		if fj {
+			ttg.BroadcastM(x, a.rowD, ds, t, ttg.Borrow)
+			a.chain(x, k, j, k+1, t, ttg.Copy)
+		} else {
+			ttg.BroadcastMulti(x, t, ttg.Move,
+				ttg.To(a.rowD, ds...),
+				a.chainTarget(k, j, k+1),
+			)
+		}
 		a.notify(x, k)
 	}
 
@@ -188,8 +227,15 @@ func (a *App) build() {
 				ds = append(ds, ttg.Int3{i, j, k})
 			}
 		}
-		ttg.BroadcastM(x, a.colD, ds, t, ttg.Borrow)
-		a.chain(x, i, k, k+1, t, ttg.Copy)
+		if fj {
+			ttg.BroadcastM(x, a.colD, ds, t, ttg.Borrow)
+			a.chain(x, i, k, k+1, t, ttg.Copy)
+		} else {
+			ttg.BroadcastMulti(x, t, ttg.Move,
+				ttg.To(a.colD, ds...),
+				a.chainTarget(i, k, k+1),
+			)
+		}
 		a.notify(x, k)
 	}
 
@@ -221,13 +267,15 @@ func (a *App) build() {
 
 	allChain := ttg.Out(a.toA, a.toB, a.toC, a.toD, a.out)
 	if !fj {
-		ttg.MakeTT1(a.g, "FW_A", ttg.Input(a.toA),
+		// Each kernel relaxes its own tile in place (ReadWrite) while the
+		// diagonal/row/column panels it consumes are only read (ConstInput).
+		ttg.MakeTT1(a.g, "FW_A", ttg.Input(a.toA).ReadWrite(),
 			append(ttg.Out(a.diagB, a.diagC), allChain...), aBody, aOpts)
-		ttg.MakeTT2(a.g, "FW_B", ttg.Input(a.toB), ttg.Input(a.diagB),
+		ttg.MakeTT2(a.g, "FW_B", ttg.Input(a.toB).ReadWrite(), ttg.ConstInput(a.diagB),
 			append(ttg.Out(a.rowD), allChain...), bBody, bOpts)
-		ttg.MakeTT2(a.g, "FW_C", ttg.Input(a.toC), ttg.Input(a.diagC),
+		ttg.MakeTT2(a.g, "FW_C", ttg.Input(a.toC).ReadWrite(), ttg.ConstInput(a.diagC),
 			append(ttg.Out(a.colD), allChain...), cBody, cOpts)
-		ttg.MakeTT3(a.g, "FW_D", ttg.Input(a.toD), ttg.Input(a.colD), ttg.Input(a.rowD),
+		ttg.MakeTT3(a.g, "FW_D", ttg.Input(a.toD).ReadWrite(), ttg.ConstInput(a.colD), ttg.ConstInput(a.rowD),
 			allChain, dBody, dOpts)
 	} else {
 		ttg.MakeTT2(a.g, "FW_A", ttg.Input(a.toA), ttg.Input(a.goA),
@@ -245,9 +293,11 @@ func (a *App) build() {
 		a.buildBarrier()
 	}
 
-	ttg.MakeTT1(a.g, "FW_OUT", ttg.Input(a.out), nil,
+	ttg.MakeTT1(a.g, "FW_OUT", ttg.ConstInput(a.out), nil,
 		func(x *ttg.Ctx[ttg.Int2], t *tile.Tile) {
 			if a.opts.OnResult != nil {
+				// The callback stores the tile; keep it alive past the task.
+				x.Retain(t)
 				a.opts.OnResult(x.Key()[0], x.Key()[1], t)
 			}
 		},
@@ -321,16 +371,17 @@ func (a *App) Seed() {
 			if a.owner(i, j) != me {
 				continue
 			}
+			// Move: the freshly materialized tile belongs to the graph.
 			t := a.InputTile(i, j)
 			switch {
 			case i == 0 && j == 0:
-				ttg.Seed(a.g, a.toA, ttg.Int1{0}, t)
+				ttg.SeedM(a.g, a.toA, ttg.Int1{0}, t, ttg.Move)
 			case i == 0:
-				ttg.Seed(a.g, a.toB, ttg.Int3{i, j, 0}, t)
+				ttg.SeedM(a.g, a.toB, ttg.Int3{i, j, 0}, t, ttg.Move)
 			case j == 0:
-				ttg.Seed(a.g, a.toC, ttg.Int3{i, j, 0}, t)
+				ttg.SeedM(a.g, a.toC, ttg.Int3{i, j, 0}, t, ttg.Move)
 			default:
-				ttg.Seed(a.g, a.toD, ttg.Int3{i, j, 0}, t)
+				ttg.SeedM(a.g, a.toD, ttg.Int3{i, j, 0}, t, ttg.Move)
 			}
 		}
 	}

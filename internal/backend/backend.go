@@ -494,6 +494,9 @@ func (p *Proc) commLoop() {
 			d := core.DecodeHeader(b)
 			if b.Bool() {
 				d.Value = serde.DecodeAny(b)
+				// Freshly deserialized: the runtime owns the object and may
+				// reclaim pooled payloads once the last consumer is done.
+				d.Exclusive = true
 			}
 			p.graph.Inject(d)
 			p.det.Deactivate()
@@ -574,6 +577,7 @@ func (p *Proc) handleCoal(data []byte, src int) {
 			d := core.DecodeHeader(b)
 			if b.Bool() {
 				d.Value = serde.DecodeAny(b)
+				d.Exclusive = true
 			}
 			dels = append(dels, d)
 		case kSplit:
@@ -620,6 +624,8 @@ func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes
 	p.tr.BytesReceived.Add(int64(payloadBytes)) // the RMA-fetched payload
 	p.recordDeliver(payloadBytes)
 	d.Value = obj
+	// The allocated+fetched object belongs to this rank alone.
+	d.Exclusive = true
 	p.graph.Inject(d)
 	// Notify the sender so it can release the source object.
 	p.ep.Send(src, kSplitAck, simnet.EncodeHandle(nil, h))

@@ -462,3 +462,90 @@ func TestSplitMDRegionsReleased(t *testing.T) {
 		}
 	})
 }
+
+// fanInSharing runs one remote broadcast of a single value to two
+// consumers on the far rank and reports whether they saw the same
+// physical object.
+func fanInSharing(t *testing.T, rt *backend.Runtime, mode core.SendMode, access core.AccessMode) (shared bool, vals []float64) {
+	t.Helper()
+	var mu sync.Mutex
+	var ptrs []*float64
+	rt.Run(func(p *backend.Proc) {
+		g := p.NewGraph()
+		in := core.NewEdge("in")
+		out := core.NewEdge("out")
+		g.AddTT(core.TTSpec{
+			Name:    "src",
+			Inputs:  []core.InputSpec{{Edge: in}},
+			Outputs: []core.OutputSpec{{Edge: out}},
+			Keymap:  func(any) int { return 0 },
+			Body: func(ctx *core.TaskContext) {
+				v := &vec{n: 2, data: []float64{40, 2}}
+				ctx.BroadcastMode(0, []any{serde.Int1{1}, serde.Int1{2}}, v, mode)
+			},
+		})
+		g.AddTT(core.TTSpec{
+			Name:   "dst",
+			Inputs: []core.InputSpec{{Edge: out, Access: access}},
+			Keymap: func(any) int { return 1 },
+			Body: func(ctx *core.TaskContext) {
+				v := ctx.Input(0).(*vec)
+				mu.Lock()
+				ptrs = append(ptrs, &v.data[0])
+				vals = append(vals, v.data[0]+v.data[1])
+				mu.Unlock()
+			},
+		})
+		g.Seal()
+		p.Bind(g)
+		if p.Rank() == 0 {
+			g.Seed(in, serde.Int1{0}, 0.0)
+		}
+		g.Fence()
+	})
+	if len(ptrs) != 2 {
+		t.Fatalf("ran %d consumers, want 2", len(ptrs))
+	}
+	return ptrs[0] == ptrs[1], vals
+}
+
+// TestRemoteFanInSharingSimnet checks data-tracking semantics across the
+// simulated network: one value broadcast to two read-only consumers on the
+// far rank crosses the wire once and is shared in memory on arrival under
+// a tracking runtime (PaRSEC model), but is cloned per consumer under the
+// eager-copy MADNESS model. Send modes survive the wire either way.
+func TestRemoteFanInSharingSimnet(t *testing.T) {
+	net := simnet.Config{Latency: 20 * time.Microsecond, BandwidthBps: 1 << 30}
+
+	shared, vals := fanInSharing(t,
+		parsec.New(2, parsec.Config{WorkersPerRank: 2, Net: net}),
+		core.SendMove, core.ReadOnly)
+	if !shared {
+		t.Errorf("parsec: remote read-only consumers did not share one value")
+	}
+	for _, v := range vals {
+		if v != 42 {
+			t.Errorf("parsec: consumer saw %v, want 42", v)
+		}
+	}
+
+	// ReadWrite consumers must never share, tracking runtime or not.
+	shared, _ = fanInSharing(t,
+		parsec.New(2, parsec.Config{WorkersPerRank: 2, Net: net}),
+		core.SendMove, core.ReadWrite)
+	if shared {
+		t.Errorf("parsec: remote read-write consumers shared one value")
+	}
+
+	shared, vals = fanInSharing(t,
+		madness.New(2, madness.Config{WorkersPerRank: 2, Net: net}),
+		core.SendCopy, core.ReadOnly)
+	if shared {
+		t.Errorf("madness: eager-copy runtime shared a value across consumers")
+	}
+	for _, v := range vals {
+		if v != 42 {
+			t.Errorf("madness: consumer saw %v, want 42", v)
+		}
+	}
+}

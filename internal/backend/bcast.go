@@ -141,6 +141,8 @@ func (p *Proc) handleBcast(data []byte) {
 	}
 	if hasMine {
 		mine.Value = value
+		// Each rank decodes its own object: hand it to the runtime outright.
+		mine.Exclusive = true
 		p.graph.Inject(mine)
 	}
 }
@@ -245,6 +247,8 @@ func (p *Proc) handleBcastChunk(data []byte) {
 	value := serde.DecodeAny(serde.FromBytes(st.buf))
 	if st.hasMine {
 		st.mine.Value = value
+		// Freshly decoded from the reassembled payload: runtime-owned.
+		st.mine.Exclusive = true
 		p.graph.Inject(st.mine)
 	}
 }

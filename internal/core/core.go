@@ -65,6 +65,13 @@ type Delivery struct {
 	// defer reading the value (splitmd registration) must snapshot it
 	// first under SendCopy, because the sender may keep mutating.
 	Mode SendMode
+	// Exclusive marks Value as runtime-owned: no other holder exists, so
+	// the data tracker may return pooled payloads to their pool once the
+	// last consumer is done. Not wire-encoded — set by receiving
+	// transports after deserialization (a freshly decoded object is by
+	// construction exclusive). The sim backend passes objects across
+	// virtual ranks by reference and leaves it false.
+	Exclusive bool
 }
 
 // Executor is the contract a runtime backend provides to a graph.
@@ -134,6 +141,11 @@ type InputSpec struct {
 	// messages per task ID; the terminal is satisfied after that many.
 	// When nil the stream must be closed by CtrlSetSize or CtrlFinalize.
 	StreamSize func(key any) int
+	// Access declares how the task body uses this terminal's value (see
+	// AccessMode). Non-default modes opt the terminal into runtime-owned
+	// data: values may be shared with other consumers until task start,
+	// so the sender must not mutate after sending.
+	Access AccessMode
 }
 
 // OutputSpec describes one output terminal.
@@ -188,6 +200,15 @@ type Graph struct {
 	matchDelay   *obs.Histogram
 	taskLatency  *obs.Histogram
 	folds        *obs.Counter
+
+	// Copy-traffic counters mirrored from trace.Collector into the obs
+	// registry at each fence (the collector is the hot-path home; the
+	// registry is what reports and ttg-bench stats read). pubCopies /
+	// pubAvoided remember what has been published so far.
+	dataCopies    *obs.Counter
+	copiesAvoided *obs.Counter
+	pubCopies     int64
+	pubAvoided    int64
 }
 
 // NewGraph creates an empty graph bound to a backend executor.
@@ -200,6 +221,8 @@ func NewGraph(exec Executor) *Graph {
 		g.matchDelay = m.Histogram(obs.HistMatchDelay)
 		g.taskLatency = m.Histogram(obs.HistTaskLatency)
 		g.folds = m.Counter(obs.CounterFolds)
+		g.dataCopies = m.Counter(obs.CounterDataCopies)
+		g.copiesAvoided = m.Counter(obs.CounterCopiesAvoided)
 	}
 	return g
 }
@@ -278,7 +301,28 @@ func (g *Graph) TTByID(id int) *TT { return g.tts[id] }
 func (g *Graph) NumTTs() int { return len(g.tts) }
 
 // Fence blocks until the whole distributed computation has quiesced.
-func (g *Graph) Fence() { g.exec.Fence() }
+func (g *Graph) Fence() {
+	g.exec.Fence()
+	g.publishDataMetrics()
+}
+
+// publishDataMetrics mirrors the copy-traffic deltas accumulated since the
+// last fence from the trace collector into the obs counter registry. Runs
+// post-quiescence, so the collector values are stable.
+func (g *Graph) publishDataMetrics() {
+	if g.dataCopies == nil {
+		return
+	}
+	tr := g.exec.Tracer()
+	if c := tr.DataCopies.Load(); c > g.pubCopies {
+		g.dataCopies.Add(c - g.pubCopies)
+		g.pubCopies = c
+	}
+	if a := tr.CopiesAvoided.Load(); a > g.pubAvoided {
+		g.copiesAvoided.Add(a - g.pubAvoided)
+		g.pubAvoided = a
+	}
+}
 
 // ID returns the TT's registration index (stable across ranks).
 func (tt *TT) ID() int { return tt.id }
@@ -325,6 +369,10 @@ type Task struct {
 	// sh is the matching shell this task was instantiated from (nil for
 	// Invoke-created tasks); Execute recycles it when the body is done.
 	sh *shell
+	// holds are the tracked handles this task keeps referenced for the
+	// body's duration (read-only inputs); see data.go. The backing array
+	// is recycled through the shell.
+	holds []*tracked
 }
 
 // Execute runs the task body and retires the task's activity unit. The
@@ -334,16 +382,20 @@ type Task struct {
 func (t *Task) Execute(worker int) {
 	g := t.TT.g
 	defer g.exec.Deactivate()
+	t.materialize()
 	ctx := &TaskContext{task: t, worker: worker}
 	if o := g.obs; o != nil {
 		t.executeObserved(o, ctx, worker)
 	} else {
 		t.TT.body(ctx)
 	}
+	t.releaseHolds()
 	g.exec.Tracer().TasksExecuted.Add(1)
 	if sh := t.sh; sh != nil {
 		// Last use of t: t is the shell's embedded task, and release hands
 		// the shell (t included) back to the matching table for reuse.
+		// The holds backing array survives on the shell for reuse.
+		sh.holdBuf = t.holds[:0]
 		sh.release()
 	}
 }

@@ -63,6 +63,7 @@ func (e *mockExec) Deliver(dest int, d Delivery) {
 	out := DecodeHeader(r)
 	if r.Bool() {
 		out.Value = serde.DecodeAny(r)
+		out.Exclusive = true // deserialized: the receiver owns the bytes
 	}
 	e.c.graphs[dest].Inject(out)
 }
@@ -486,6 +487,7 @@ func TestWireHeaderRoundTrip(t *testing.T) {
 		},
 		Control: CtrlSetSize,
 		N:       17,
+		Mode:    SendMove,
 	}
 	b := serde.NewBuffer(64)
 	EncodeHeader(b, d)
@@ -493,7 +495,21 @@ func TestWireHeaderRoundTrip(t *testing.T) {
 	if got.Control != CtrlSetSize || got.N != 17 || len(got.Targets) != 2 {
 		t.Fatalf("header round trip: %+v", got)
 	}
+	if got.Mode != SendMove {
+		t.Fatalf("send mode lost in header: %+v", got)
+	}
 	if got.Targets[0].Keys[1] != any(serde.Int2{3, 4}) {
 		t.Fatalf("keys corrupted: %+v", got.Targets[0])
+	}
+	// All control kinds and modes survive the packed first byte.
+	for _, ctl := range []ControlKind{CtrlNone, CtrlFinalize, CtrlSetSize} {
+		for _, m := range []SendMode{SendCopy, SendBorrow, SendMove} {
+			b := serde.NewBuffer(64)
+			EncodeHeader(b, Delivery{Targets: d.Targets[:1], Control: ctl, N: 1, Mode: m})
+			got := DecodeHeader(serde.FromBytes(b.Bytes()))
+			if got.Control != ctl || got.Mode != m {
+				t.Fatalf("packed byte round trip: ctl=%v mode=%v got %+v", ctl, m, got)
+			}
+		}
 	}
 }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"reflect"
+	"sync/atomic"
+
+	"repro/internal/pool"
+)
+
+// Runtime-owned data lifetimes. The paper's reworked PaRSEC backend lets
+// the runtime own in-flight values so const-ref flows avoid copies; this
+// file is that layer for the Go engine. A value fanning out to several
+// local consumers travels as ONE refcounted tracked handle instead of
+// per-consumer deep clones. Each consuming task resolves the handle when
+// it starts, according to the access mode its input terminal declared:
+//
+//	ReadOnly   share the value for the body's duration (a reader ref is
+//	           held until the body returns), never clone.
+//	ReadWrite  need an exclusive value: the last live reference takes the
+//	           value in place; otherwise clone at task start — copy-on-
+//	           write, deferred to the moment a writer actually runs while
+//	           other references are live.
+//	Default    same exclusive resolution as ReadWrite (safe for bodies
+//	           that were written before access modes existed).
+//
+// When the last reference to a runtime-owned value drops (reclaim set:
+// the value arrived exclusively off the wire, or was moved with no remote
+// targets), pooled payloads are returned to their pool immediately
+// instead of waiting for the GC.
+
+// AccessMode declares how a task body uses one input terminal's value,
+// mirroring the paper's const-ref vs mutable argument flows.
+type AccessMode uint8
+
+const (
+	// AccessDefault keeps the legacy semantics: the body receives an
+	// exclusive value (clone-unless-sole-reference under tracking
+	// runtimes, eager clone otherwise). Terminals that retain their input
+	// beyond the body should stay on AccessDefault.
+	AccessDefault AccessMode = iota
+	// ReadOnly promises the body only reads the value during execution;
+	// read-only consumers of one send share a single physical copy.
+	ReadOnly
+	// ReadWrite declares the body mutates the value in place; the runtime
+	// materializes an exclusive copy lazily (copy-on-write at task start),
+	// and the last consumer always mutates in place.
+	ReadWrite
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	}
+	return "default"
+}
+
+// tracked is the refcounted handle wrapping one in-flight value. It is
+// delivered in place of the value to the consumers of one logical copy
+// and resolved per-terminal when each consuming task starts.
+type tracked struct {
+	value any
+	// refs counts consumers that have not yet resolved the handle, plus
+	// read-only holds for the duration of their task bodies.
+	refs atomic.Int32
+	// escaped marks that a holding body re-sent the raw value, so it may
+	// outlive this handle; reclamation is then left to the GC.
+	escaped atomic.Bool
+	// reclaim marks the value as runtime-owned: when the last reference
+	// drops, pooled payloads go straight back to their pool.
+	reclaim bool
+	// cmp caches whether the value's dynamic type is comparable, so the
+	// escape check can test identity without risking a panic.
+	cmp bool
+}
+
+// newTracked wraps value in a handle carrying refs references.
+func newTracked(value any, refs int, reclaim bool) *tracked {
+	h := &tracked{value: value, reclaim: reclaim}
+	h.refs.Store(int32(refs))
+	if value != nil {
+		h.cmp = reflect.TypeOf(value).Comparable()
+	}
+	return h
+}
+
+// drop releases one reference; the last drop of a runtime-owned value
+// returns pooled payloads to their pool. Consumers that took the value in
+// place (CAS 1→0) own it outright and never call drop.
+func (h *tracked) drop() {
+	if h.refs.Add(-1) == 0 && h.reclaim && !h.escaped.Load() {
+		if r, ok := h.value.(pool.Releasable); ok {
+			r.Release()
+		}
+	}
+}
+
+// materialize resolves tracked-handle inputs into plain values according
+// to each terminal's declared access mode. It runs at the top of
+// Task.Execute, on the worker about to run the body — the latest possible
+// moment, which is what makes the write path copy-on-write.
+func (t *Task) materialize() {
+	for i := range t.Inputs {
+		h, ok := t.Inputs[i].(*tracked)
+		if !ok {
+			continue
+		}
+		tr := t.TT.g.exec.Tracer()
+		if t.TT.inputs[i].Access == ReadOnly {
+			// Share; hold the reference until the body returns.
+			t.Inputs[i] = h.value
+			t.holds = append(t.holds, h)
+			tr.CopiesAvoided.Add(1)
+		} else if h.refs.CompareAndSwap(1, 0) {
+			// Sole live reference: the exclusive consumer takes the value
+			// in place and owns it from here on (never reclaimed).
+			t.Inputs[i] = h.value
+			tr.CopiesAvoided.Add(1)
+		} else {
+			// Copy-on-write: other consumers still read the value, so this
+			// writer gets its own clone. Clone before dropping the
+			// reference — the order keeps the source alive while it is
+			// being read.
+			t.Inputs[i] = serdeClone(h.value, tr)
+			h.drop()
+		}
+	}
+}
+
+// releaseHolds drops the read-only references held for the body's
+// duration. Runs after the body in Task.Execute.
+func (t *Task) releaseHolds() {
+	for i, h := range t.holds {
+		h.drop()
+		t.holds[i] = nil
+	}
+}
+
+// noteSend flags held read-only values that the body re-sends: the value
+// then escapes this task's lifetime and must not be reclaimed when the
+// hold drops. Identity comparison only — a no-op for tasks holding
+// nothing, which is the overwhelmingly common case.
+func (t *Task) noteSend(v any) {
+	for _, h := range t.holds {
+		if h.cmp && h.value == v {
+			h.escaped.Store(true)
+		}
+	}
+}

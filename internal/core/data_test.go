@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serde"
+)
+
+// relVal is a pool.Releasable test value; Release flips a flag instead of
+// returning buffers.
+type relVal struct {
+	data     []float64
+	released atomic.Bool
+}
+
+func (r *relVal) Release() { r.released.Store(true) }
+
+func sameBacking(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// TestReadOnlyFanoutShares checks the headline tentpole behavior: one send
+// fanning out to several read-only consumers travels as one refcounted
+// value, zero clones.
+func TestReadOnlyFanoutShares(t *testing.T) {
+	c := newMockCluster(1, true)
+	g := c.graphs[0]
+	in := NewEdge("in")
+	e := NewEdge("e")
+	var seen [][]float64
+	g.AddTT(TTSpec{
+		Name:    "producer",
+		Inputs:  []InputSpec{{Edge: in}},
+		Outputs: []OutputSpec{{Edge: e}},
+		Body: func(ctx *TaskContext) {
+			keys := []any{serde.Int1{1}, serde.Int1{2}, serde.Int1{3}}
+			ctx.Broadcast(0, keys, []float64{4, 5, 6})
+		},
+	})
+	g.AddTT(TTSpec{
+		Name:   "reader",
+		Inputs: []InputSpec{{Edge: e, Access: ReadOnly}},
+		Body: func(ctx *TaskContext) {
+			seen = append(seen, ctx.Input(0).([]float64))
+		},
+	})
+	g.Seal()
+	g.SeedMode(in, serde.Int1{0}, 0, SendMove)
+
+	if len(seen) != 3 {
+		t.Fatalf("ran %d readers, want 3", len(seen))
+	}
+	if !sameBacking(seen[0], seen[1]) || !sameBacking(seen[1], seen[2]) {
+		t.Errorf("read-only consumers did not share one value")
+	}
+	tr := c.execs[0].tr.Snapshot()
+	if tr.DataCopies != 0 {
+		t.Errorf("read-only fan-out made %d copies, want 0", tr.DataCopies)
+	}
+	if tr.CopiesAvoided < 3 {
+		t.Errorf("copies avoided = %d, want >= 3", tr.CopiesAvoided)
+	}
+}
+
+// TestCopyOnWriteLazyClone checks that a ReadWrite consumer clones only
+// when other references are live, and that the last consumer takes the
+// value in place.
+func TestCopyOnWriteLazyClone(t *testing.T) {
+	c := newMockCluster(1, true)
+	g := c.graphs[0]
+	in := NewEdge("in")
+	e := NewEdge("e")
+	var sent []float64
+	var seen [][]float64
+	g.AddTT(TTSpec{
+		Name:    "producer",
+		Inputs:  []InputSpec{{Edge: in}},
+		Outputs: []OutputSpec{{Edge: e}},
+		Body: func(ctx *TaskContext) {
+			sent = []float64{1, 2, 3}
+			ctx.Broadcast(0, []any{serde.Int1{1}, serde.Int1{2}}, sent)
+		},
+	})
+	g.AddTT(TTSpec{
+		Name:   "writer",
+		Inputs: []InputSpec{{Edge: e, Access: ReadWrite}},
+		Body: func(ctx *TaskContext) {
+			v := ctx.Input(0).([]float64)
+			v[0] = 99 // exclusive by contract
+			seen = append(seen, v)
+		},
+	})
+	g.Seal()
+	g.SeedMode(in, serde.Int1{0}, 0, SendMove)
+
+	if len(seen) != 2 {
+		t.Fatalf("ran %d writers, want 2", len(seen))
+	}
+	// The first writer ran while the second still referenced the value, so
+	// it got a lazy clone; the last writer took the original in place.
+	if sameBacking(seen[0], sent) {
+		t.Errorf("first writer mutated the shared value")
+	}
+	if !sameBacking(seen[1], sent) {
+		t.Errorf("last writer did not take the value in place")
+	}
+	tr := c.execs[0].tr.Snapshot()
+	if tr.DataCopies != 1 {
+		t.Errorf("copy-on-write made %d copies, want exactly 1", tr.DataCopies)
+	}
+}
+
+// TestTrackedReclaim unit-tests the handle lifecycle: the last drop of a
+// runtime-owned value releases pooled payloads, unless the value escaped.
+func TestTrackedReclaim(t *testing.T) {
+	v := &relVal{data: []float64{1}}
+	h := newTracked(v, 2, true)
+	h.drop()
+	if v.released.Load() {
+		t.Fatal("released while a reference was live")
+	}
+	h.drop()
+	if !v.released.Load() {
+		t.Fatal("last drop did not release the pooled value")
+	}
+
+	v2 := &relVal{data: []float64{1}}
+	h2 := newTracked(v2, 1, true)
+	h2.escaped.Store(true)
+	h2.drop()
+	if v2.released.Load() {
+		t.Fatal("escaped value was reclaimed")
+	}
+
+	v3 := &relVal{data: []float64{1}}
+	h3 := newTracked(v3, 1, false) // not runtime-owned (e.g. sender kept a ref)
+	h3.drop()
+	if v3.released.Load() {
+		t.Fatal("non-owned value was reclaimed")
+	}
+}
+
+// TestInjectExclusiveReclaim drives the remote-arrival path: a deserialized
+// delivery is exclusive, so after the last read-only consumer finishes the
+// value's buffers are reclaimed — unless a body Retains it.
+func TestInjectExclusiveReclaim(t *testing.T) {
+	run := func(retain bool) *relVal {
+		c := newMockCluster(1, true)
+		g := c.graphs[0]
+		e := NewEdge("e")
+		g.AddTT(TTSpec{
+			Name:   "reader",
+			Inputs: []InputSpec{{Edge: e, Access: ReadOnly}},
+			Body: func(ctx *TaskContext) {
+				if retain {
+					ctx.Retain(ctx.Input(0))
+				}
+			},
+		})
+		g.Seal()
+		v := &relVal{data: []float64{7}}
+		g.Inject(Delivery{
+			Targets:   []TermTarget{{TT: 0, Term: 0, Keys: []any{serde.Int1{1}, serde.Int1{2}}}},
+			Value:     v,
+			Exclusive: true,
+		})
+		return v
+	}
+	if v := run(false); !v.released.Load() {
+		t.Errorf("exclusive value not reclaimed after last consumer")
+	}
+	if v := run(true); v.released.Load() {
+		t.Errorf("Retained value was reclaimed")
+	}
+}
+
+// TestMoveModeSurvivesRemoteDelivery sends Move across the mock wire to two
+// default-access consumers on another rank. Only if the mode survives
+// encode/decode does the receiver build a shared handle, whose last
+// consumer takes the value in place (a counted avoided copy).
+func TestMoveModeSurvivesRemoteDelivery(t *testing.T) {
+	c := newMockCluster(2, true)
+	var mu sync.Mutex
+	ran := 0
+	for r := 0; r < 2; r++ {
+		g := c.graphs[r]
+		in := NewEdge("in")
+		e := NewEdge("e")
+		g.AddTT(TTSpec{
+			Name:    "producer",
+			Inputs:  []InputSpec{{Edge: in}},
+			Outputs: []OutputSpec{{Edge: e}},
+			Body: func(ctx *TaskContext) {
+				ctx.BroadcastMode(0, []any{serde.Int1{1}, serde.Int1{2}}, []float64{1, 2}, SendMove)
+			},
+			Keymap: func(any) int { return 0 },
+		})
+		g.AddTT(TTSpec{
+			Name:   "consumer",
+			Inputs: []InputSpec{{Edge: e}}, // AccessDefault: handle exists only under Move
+			Body: func(ctx *TaskContext) {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			},
+			Keymap: func(any) int { return 1 },
+		})
+		g.Seal()
+	}
+	in0 := c.graphs[0].tts[0].inputs[0].Edge
+	c.graphs[0].SeedMode(in0, serde.Int1{0}, 0, SendMove)
+	if ran != 2 {
+		t.Fatalf("ran %d consumers on rank 1, want 2", ran)
+	}
+	tr := c.execs[1].tr.Snapshot()
+	if tr.CopiesAvoided < 1 {
+		t.Errorf("move mode lost across the wire: rank-1 avoided=%d copies=%d",
+			tr.CopiesAvoided, tr.DataCopies)
+	}
+	if tr.DataCopies != 1 {
+		t.Errorf("rank-1 copies = %d, want exactly 1 (CoW for the first default-access consumer)",
+			tr.DataCopies)
+	}
+}
+
+// TestBorrowSharesWithReadOnlyConsumer checks SendBorrow under a tracking
+// runtime: read-only consumers share the sender's value, ReadWrite
+// consumers get their own clone (the sender keeps ownership).
+func TestBorrowSharesWithReadOnlyConsumer(t *testing.T) {
+	c := newMockCluster(1, true)
+	g := c.graphs[0]
+	in := NewEdge("in")
+	ro := NewEdge("ro")
+	rw := NewEdge("rw")
+	var sent, roSeen, rwSeen []float64
+	g.AddTT(TTSpec{
+		Name:    "producer",
+		Inputs:  []InputSpec{{Edge: in}},
+		Outputs: []OutputSpec{{Edge: ro}, {Edge: rw}},
+		Body: func(ctx *TaskContext) {
+			sent = []float64{1, 2}
+			ctx.SendMode(0, serde.Int1{1}, sent, SendBorrow)
+			ctx.SendMode(1, serde.Int1{1}, sent, SendBorrow)
+		},
+	})
+	g.AddTT(TTSpec{
+		Name:   "reader",
+		Inputs: []InputSpec{{Edge: ro, Access: ReadOnly}},
+		Body:   func(ctx *TaskContext) { roSeen = ctx.Input(0).([]float64) },
+	})
+	g.AddTT(TTSpec{
+		Name:   "writer",
+		Inputs: []InputSpec{{Edge: rw, Access: ReadWrite}},
+		Body: func(ctx *TaskContext) {
+			rwSeen = ctx.Input(0).([]float64)
+			rwSeen[0] = 42
+		},
+	})
+	g.Seal()
+	g.SeedMode(in, serde.Int1{0}, 0, SendMove)
+
+	if !sameBacking(roSeen, sent) {
+		t.Errorf("borrowed read-only consumer did not share the sender's value")
+	}
+	if sameBacking(rwSeen, sent) || sent[0] == 42 {
+		t.Errorf("borrowed read-write consumer mutated the sender's value")
+	}
+}
+
+// TestReadOnlyResendEscapes checks noteSend: a body that forwards its held
+// read-only input marks it escaped, so the tracker leaves reclamation to
+// the GC even when the value was runtime-owned.
+func TestReadOnlyResendEscapes(t *testing.T) {
+	c := newMockCluster(1, true)
+	g := c.graphs[0]
+	e := NewEdge("e")
+	f := NewEdge("f")
+	g.AddTT(TTSpec{
+		Name:    "forwarder",
+		Inputs:  []InputSpec{{Edge: e, Access: ReadOnly}},
+		Outputs: []OutputSpec{{Edge: f}},
+		Body: func(ctx *TaskContext) {
+			ctx.SendMode(0, serde.Int1{9}, ctx.Input(0), SendMove)
+		},
+	})
+	g.AddTT(TTSpec{
+		Name:   "sink",
+		Inputs: []InputSpec{{Edge: f}},
+		Body:   func(ctx *TaskContext) {},
+	})
+	g.Seal()
+	v := &relVal{data: []float64{3}}
+	g.Inject(Delivery{
+		Targets:   []TermTarget{{TT: 0, Term: 0, Keys: []any{serde.Int1{1}, serde.Int1{2}}}},
+		Value:     v,
+		Exclusive: true,
+	})
+	if v.released.Load() {
+		t.Errorf("re-sent read-only value was reclaimed under the forward")
+	}
+}
+
+// TestTrackedRace exercises concurrent materialize/drop on one handle from
+// many goroutines; run with -race.
+func TestTrackedRace(t *testing.T) {
+	const n = 32
+	v := &relVal{data: []float64{1, 2, 3}}
+	h := newTracked(v, n, true)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				// Reader: share then drop, like a read-only hold.
+				_ = h.value
+				h.drop()
+			} else if h.refs.CompareAndSwap(1, 0) {
+				// Writer that won exclusivity: takes in place, no drop.
+			} else {
+				h.drop()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

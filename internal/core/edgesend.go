@@ -10,12 +10,14 @@ import "repro/internal/obs"
 // SendEdge emits value for key on edge e.
 func (c *TaskContext) SendEdge(e *Edge, key, value any, mode SendMode) {
 	g := c.task.TT.g
+	c.task.noteSend(value)
 	g.routeEdges(c.worker, []*Edge{e}, [][]any{{key}}, value, mode)
 }
 
 // BroadcastEdge emits one value for several task IDs on edge e.
 func (c *TaskContext) BroadcastEdge(e *Edge, keys []any, value any, mode SendMode) {
 	g := c.task.TT.g
+	c.task.noteSend(value)
 	g.routeEdges(c.worker, []*Edge{e}, [][]any{keys}, value, mode)
 }
 
@@ -26,6 +28,7 @@ func (c *TaskContext) BroadcastEdges(edges []*Edge, keys [][]any, value any, mod
 		panic("core: BroadcastEdges edges/keys length mismatch")
 	}
 	g := c.task.TT.g
+	c.task.noteSend(value)
 	g.routeEdges(c.worker, edges, keys, value, mode)
 }
 
@@ -100,10 +103,52 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 	}
 
 	tr := g.exec.Tracer()
+	tracks := g.exec.TracksData()
 	effMode := mode
-	if mode == SendBorrow && !g.exec.TracksData() {
+	if mode == SendBorrow && !tracks {
 		effMode = SendCopy
 	}
+
+	// Under a data-tracking runtime, local fan-out can share one tracked
+	// handle instead of cloning per consumer (data.go). Reducer terminals
+	// never join a handle: their values are folded at delivery time, before
+	// any task start could resolve the handle.
+	var h *tracked
+	if tracks && len(locals) > 0 {
+		switch effMode {
+		case SendCopy:
+			// Consumers with a declared access mode opted into runtime-owned
+			// values; they share one handle (the sender keeps its reference,
+			// so the value is never reclaimed). Default-access consumers
+			// keep the legacy eager clone.
+			n := 0
+			for _, lt := range locals {
+				in := &lt.c.tt.inputs[lt.c.term]
+				if in.Reducer == nil && in.Access != AccessDefault {
+					n++
+				}
+			}
+			if n > 0 {
+				h = newTracked(value, n, false)
+			}
+		case SendMove:
+			// Ownership transferred: every non-reducer consumer joins the
+			// handle, and with no remote targets the runtime owns the value
+			// outright and may reclaim pooled payloads at the last drop.
+			if len(locals) > 1 {
+				n := 0
+				for _, lt := range locals {
+					if lt.c.tt.inputs[lt.c.term].Reducer == nil {
+						n++
+					}
+				}
+				if n > 1 {
+					h = newTracked(value, n, remote == nil)
+				}
+			}
+		}
+	}
+
 	// Tasks made ready by this send are collected and submitted as one
 	// batch, so a fan-out of N successors pays one scheduler handoff. The
 	// first ready task is held in a local so the by-far-common outcomes
@@ -111,20 +156,32 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 	var first *Task
 	var extra []*Task
 	for idx, lt := range locals {
+		in := &lt.c.tt.inputs[lt.c.term]
 		var v any
-		switch effMode {
-		case SendCopy:
-			v = serdeClone(value, tr)
-		case SendBorrow:
-			v = value
-			tr.CopiesAvoided.Add(1)
-		case SendMove:
-			if idx == 0 {
+		switch {
+		case h != nil && in.Reducer == nil &&
+			(effMode == SendMove || in.Access != AccessDefault):
+			v = h
+		case effMode == SendBorrow:
+			if in.Access == ReadWrite {
+				// The sender retains ownership under borrow; a declared
+				// writer must get its own copy.
+				v = serdeClone(value, tr)
+			} else {
+				v = value
+				tr.CopiesAvoided.Add(1)
+			}
+		case effMode == SendMove:
+			// With a live handle, stragglers (reducers) must clone — the
+			// raw value now aliases the handle consumers.
+			if h == nil && idx == 0 {
 				v = value
 				tr.CopiesAvoided.Add(1)
 			} else {
 				v = serdeClone(value, tr)
 			}
+		default: // SendCopy
+			v = serdeClone(value, tr)
 		}
 		if t := g.deliverLocal(lt.c.tt, lt.c.term, lt.key, v, worker); t != nil {
 			if first == nil {

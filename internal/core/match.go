@@ -95,6 +95,10 @@ type shell struct {
 	next  *shell      // free-list link (owned by shard)
 	shard *matchShard // home shard, for release
 	task  Task        // submitted in place when the shell completes
+	// holdBuf is the recycled backing array for Task.holds (read-only
+	// tracked-handle references, data.go); Execute writes it back, emptied,
+	// before releasing the shell, so steady-state holds allocate nothing.
+	holdBuf []*tracked
 }
 
 // release scrubs the shell and returns it to its shard's free list. Called

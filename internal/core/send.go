@@ -33,6 +33,11 @@ func (c *TaskContext) Size() int { return c.task.TT.g.exec.Size() }
 // Worker returns the index of the worker thread running the task.
 func (c *TaskContext) Worker() int { return c.worker }
 
+// Retain marks a value received on a read-only terminal as kept by the
+// application beyond the task body (TTG's "keep" convention): the runtime
+// then never reclaims it. No-op for values that are not runtime-owned.
+func (c *TaskContext) Retain(v any) { c.task.noteSend(v) }
+
 // Send emits value to output terminal term for task ID key with the default
 // copy semantics (Fig. 2a).
 func (c *TaskContext) Send(term int, key, value any) {
@@ -42,6 +47,7 @@ func (c *TaskContext) Send(term int, key, value any) {
 // SendMode is Send with explicit data-passing semantics.
 func (c *TaskContext) SendMode(term int, key, value any, mode SendMode) {
 	g := c.task.TT.g
+	c.task.noteSend(value)
 	// Stack-backed containers (route/routeEdges do not retain them) keep
 	// the hottest send shape — one terminal, one key — allocation-free.
 	tb := [1]int{term}
@@ -59,6 +65,7 @@ func (c *TaskContext) Broadcast(term int, keys []any, value any) {
 // BroadcastMode is Broadcast with explicit semantics.
 func (c *TaskContext) BroadcastMode(term int, keys []any, value any, mode SendMode) {
 	g := c.task.TT.g
+	c.task.noteSend(value)
 	tb := [1]int{term}
 	ksb := [1][]any{keys}
 	g.route(c.task.TT, c.worker, tb[:], ksb[:], value, mode)
@@ -73,6 +80,7 @@ func (c *TaskContext) BroadcastMulti(terms []int, keys [][]any, value any, mode 
 		panic("core: BroadcastMulti terms/keys length mismatch")
 	}
 	g := c.task.TT.g
+	c.task.noteSend(value)
 	g.route(c.task.TT, c.worker, terms, keys, value, mode)
 }
 
@@ -96,6 +104,14 @@ func (c *TaskContext) SetStreamSize(term int, key any, n int) {
 // data injection a rank main performs before fencing). Routing follows the
 // consumers' keymaps, so seeding from one rank reaches tasks anywhere.
 func (g *Graph) Seed(e *Edge, key, value any) {
+	g.SeedMode(e, key, value, SendCopy)
+}
+
+// SeedMode is Seed with explicit data-passing semantics. Seeding with
+// SendMove hands the value to the runtime outright — the caller must not
+// touch it afterwards, and local consumers share it through the data
+// tracker instead of each cloning the seed.
+func (g *Graph) SeedMode(e *Edge, key, value any, mode SendMode) {
 	if !g.sealed {
 		panic("core: Seed before Seal")
 	}
@@ -106,7 +122,7 @@ func (g *Graph) Seed(e *Edge, key, value any) {
 	kb := [1]any{key}
 	ksb := [1][]any{kb[:]}
 	eb := [1]*Edge{e}
-	g.routeEdges(-1, eb[:], ksb[:], value, SendCopy)
+	g.routeEdges(-1, eb[:], ksb[:], value, mode)
 }
 
 // SeedBroadcast injects one value for several task IDs.
@@ -226,6 +242,32 @@ func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
 			*extra = append(*extra, t)
 		}
 	}
+	// Under a data-tracking runtime a multi-key data delivery shares one
+	// tracked handle: the deserialized object satisfies every local task
+	// ID, each resolving it per its terminal's access mode, instead of one
+	// clone per key after the first. Deliveries flagged Exclusive hand the
+	// object to the runtime outright, so pooled payloads are reclaimed at
+	// the last drop.
+	// Handle membership follows the same predicate as local fan-out
+	// (routeEdges): a moved value is shared by every non-reducer consumer;
+	// a copied or borrowed one only by terminals that declared an access
+	// mode. Default-access consumers keep the legacy per-key clones.
+	joins := func(tt *TT, term int) bool {
+		in := &tt.inputs[term]
+		return in.Reducer == nil && (d.Mode == SendMove || in.Access != AccessDefault)
+	}
+	var h *tracked
+	if d.Control == CtrlNone && g.exec.TracksData() {
+		n := 0
+		for _, tgt := range d.Targets {
+			if joins(g.tts[tgt.TT], tgt.Term) {
+				n += len(tgt.Keys)
+			}
+		}
+		if n >= 2 {
+			h = newTracked(d.Value, n, d.Exclusive)
+		}
+	}
 	for _, tgt := range d.Targets {
 		tt := g.tts[tgt.TT]
 		for i, key := range tgt.Keys {
@@ -235,13 +277,23 @@ func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
 				}
 				continue
 			}
-			v := d.Value
-			if i > 0 {
+			var v any
+			switch {
+			case h != nil && joins(tt, tgt.Term):
+				v = h
+			case h != nil:
+				// Reducer folds and default-access consumers can't join the
+				// handle, and the raw object now aliases the consumers that
+				// did, so they get their own copies.
+				v = serdeClone(d.Value, g.exec.Tracer())
+			case i > 0:
 				// The same deserialized object satisfies several local task
 				// IDs: later ones need their own copy only if reducers will
 				// not immediately fold it. Cloning is the safe default.
 				v = serde.CloneAny(d.Value)
 				g.exec.Tracer().DataCopies.Add(1)
+			default:
+				v = d.Value
 			}
 			if t := g.deliverLocal(tt, tgt.Term, key, v, -1); t != nil {
 				add(t)
@@ -365,7 +417,9 @@ func (g *Graph) maybeReadyLocked(tt *TT, key any, sp *matchShard, sh *shell, wor
 	sp.mu.Unlock()
 	// The shell leaves the table before its task runs; the embedded task
 	// is submitted in place (no allocation) and Execute recycles the shell.
-	sh.task = Task{TT: tt, Key: key, Inputs: sh.inputs, Priority: tt.Priority(key), Origin: worker, sh: sh}
+	// holds seeds from the shell's recycled backing array (len 0), so
+	// read-only holds usually cost no allocation either.
+	sh.task = Task{TT: tt, Key: key, Inputs: sh.inputs, Priority: tt.Priority(key), Origin: worker, sh: sh, holds: sh.holdBuf}
 	return &sh.task
 }
 

@@ -10,8 +10,11 @@ import "repro/internal/serde"
 // and is appended after the header.
 
 // EncodeHeader appends d's routing header (everything except the value).
+// The first byte packs the control kind (low nibble) with the send mode
+// (high nibble), so data-passing semantics survive the rank boundary —
+// the receiver's tracker needs Mode to decide handle ownership.
 func EncodeHeader(b *serde.Buffer, d Delivery) {
-	b.PutU8(uint8(d.Control))
+	b.PutU8(uint8(d.Control) | uint8(d.Mode)<<4)
 	if d.Control == CtrlSetSize {
 		b.PutVarint(int64(d.N))
 	}
@@ -30,7 +33,9 @@ func EncodeHeader(b *serde.Buffer, d Delivery) {
 // is left positioned at the value section.
 func DecodeHeader(b *serde.Buffer) Delivery {
 	var d Delivery
-	d.Control = ControlKind(b.U8())
+	c := b.U8()
+	d.Control = ControlKind(c & 0x0f)
+	d.Mode = SendMode(c >> 4)
 	if d.Control == CtrlSetSize {
 		d.N = int(b.Varint())
 	}

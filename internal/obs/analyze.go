@@ -278,6 +278,12 @@ func (r *Report) String() string {
 		r.Msgs.Sends, r.Msgs.Bcasts, r.Msgs.Forwards)
 	fmt.Fprintf(&b, "matches=%d folds=%d steals=%d fences=%d\n",
 		r.Matches, r.Folds, r.Steals, r.Fences)
+	copies := r.Metrics.Counters[CounterDataCopies]
+	avoided := r.Metrics.Counters[CounterCopiesAvoided]
+	if copies+avoided > 0 {
+		fmt.Fprintf(&b, "data: copies=%d avoided=%d (%.0f%% avoidance)\n",
+			copies, avoided, 100*float64(avoided)/float64(copies+avoided))
+	}
 
 	if hs, ok := r.Metrics.Hists[HistMsgBytes]; ok && hs.Count > 0 {
 		fmt.Fprintf(&b, "msg size:   %s\n", hs)
@@ -322,6 +328,10 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, " %s×%d", n, r.Crit.ByTemplate[n])
 		}
 		b.WriteString("\n")
+		if copies+avoided > 0 {
+			fmt.Fprintf(&b, "  copy avoidance: %d of %d deliveries shared or taken in place\n",
+				avoided, copies+avoided)
+		}
 	}
 	return b.String()
 }

@@ -155,6 +155,12 @@ const (
 	// CounterBcastChunks counts pipelined-broadcast chunk packets relayed
 	// or originated by this rank.
 	CounterBcastChunks = "bcast.chunks"
+	// CounterDataCopies counts deep copies of in-flight values (clones made
+	// for copy semantics, CoW materialization, or remote snapshots).
+	CounterDataCopies = "data.copies"
+	// CounterCopiesAvoided counts deliveries satisfied without a deep copy
+	// (shared read-only references, in-place takes, ownership moves).
+	CounterCopiesAvoided = "data.copies_avoided"
 )
 
 // Config sizes a Session.

@@ -37,6 +37,29 @@ func Input[K comparable, V any](e Edge[K, V]) In[K, V] {
 	return In[K, V]{spec: core.InputSpec{Edge: e.e}}
 }
 
+// ReadOnly declares that the task body only reads this terminal's value
+// while executing (the paper's const-ref argument flow). Under a
+// data-tracking backend, read-only consumers of one send share a single
+// physical copy; the sender must not mutate the value after sending.
+func (in In[K, V]) ReadOnly() In[K, V] {
+	in.spec.Access = core.ReadOnly
+	return in
+}
+
+// ReadWrite declares that the task body mutates this terminal's value in
+// place. The runtime hands it an exclusive object: the last live reference
+// is taken as-is, otherwise a copy materializes lazily when the task
+// starts (copy-on-write). The sender must not mutate after sending.
+func (in In[K, V]) ReadWrite() In[K, V] {
+	in.spec.Access = core.ReadWrite
+	return in
+}
+
+// ConstInput is shorthand for Input(e).ReadOnly().
+func ConstInput[K comparable, V any](e Edge[K, V]) In[K, V] {
+	return Input(e).ReadOnly()
+}
+
 // ReduceInput declares a streaming input terminal (§II-B): messages for the
 // same task ID are folded pairwise with reduce (the first message starts
 // the accumulator), and the terminal is satisfied after size(key) messages.
@@ -91,6 +114,11 @@ func (x *Ctx[K]) Size() int { return x.c.Size() }
 
 // Worker returns the executing worker-thread index.
 func (x *Ctx[K]) Worker() int { return x.c.Worker() }
+
+// Retain marks a read-only input value as kept beyond the task body (for
+// example stored into an application-side map): the runtime will never
+// reclaim its buffers. Values the body only reads and drops need no Retain.
+func (x *Ctx[K]) Retain(v any) { x.c.Retain(v) }
 
 // Send emits value for task ID key on edge e with copy semantics
 // (Fig. 2a).
@@ -156,6 +184,13 @@ func SetStreamSize[K comparable, V any](x Context, e Edge[K, V], key K, n int) {
 // follows the consumers' keymaps, so seeding from one rank is enough.
 func Seed[K comparable, V any](g *Graph, e Edge[K, V], key K, value V) {
 	g.core.Seed(e.e, key, value)
+}
+
+// SeedM is Seed with explicit data-passing semantics. Seeding with Move
+// hands the value to the runtime — the caller must not touch it afterwards,
+// and consumers share it through the data tracker instead of cloning.
+func SeedM[K comparable, V any](g *Graph, e Edge[K, V], key K, value V, mode Mode) {
+	g.core.SeedMode(e.e, key, value, mode)
 }
 
 // SeedBroadcast injects one value for several task IDs.
