@@ -9,6 +9,9 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"math"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/simnet"
@@ -120,18 +124,29 @@ func BenchmarkSendThroughputRemote(b *testing.B) {
 // means a nil-check was replaced by something costlier — treat that as a
 // failure even though the benchmark itself cannot assert across runs.
 // Enabled overhead is informational; ~5 events per hop is the expected
-// recording volume.
+// recording volume. The live sub-bench additionally attaches the full
+// introspection stack — doctor watchdog probing every 1ms plus a
+// goroutine scraping LiveReport and the OpenMetrics exporter — and the
+// remote pair measures the causal-span cost on the cross-rank path (flow
+// id on the wire plus emit/recv events); TestObsOverheadGuard holds live
+// within 5% of enabled.
 func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) { benchObsChain(b, nil) })
-	b.Run("enabled", func(b *testing.B) {
-		// Cap the ring so huge -benchtime runs don't allocate without
-		// bound; once full, the drop path still exercises the atomic claim.
-		cap := b.N * 6
-		if cap > 1<<20 {
-			cap = 1 << 20
-		}
-		benchObsChain(b, obs.NewSession(obs.Config{Capacity: cap}))
-	})
+	b.Run("enabled", func(b *testing.B) { benchObsChain(b, benchSession(b)) })
+	b.Run("live", func(b *testing.B) { benchObsChainLive(b, benchSession(b)) })
+	b.Run("remote-disabled", func(b *testing.B) { benchObsChainRemote(b, nil) })
+	b.Run("remote-spans", func(b *testing.B) { benchObsChainRemote(b, benchSession(b)) })
+}
+
+// benchSession builds an obs session with the ring capped so huge
+// -benchtime runs don't allocate without bound; once full, the drop path
+// still exercises the atomic claim.
+func benchSession(b *testing.B) *obs.Session {
+	cap := b.N * 6
+	if cap > 1<<20 {
+		cap = 1 << 20
+	}
+	return obs.NewSession(obs.Config{Capacity: cap})
 }
 
 func benchObsChain(b *testing.B, session *obs.Session) {
@@ -153,6 +168,117 @@ func benchObsChain(b *testing.B, session *obs.Session) {
 		ttg.Seed(g, e, ttg.Int1{0}, 1.0)
 		g.Fence()
 	})
+}
+
+// benchObsChainLive is benchObsChain with the live introspection stack
+// attached: the doctor watchdog probes at its minimum interval and one
+// scraper goroutine hammers Session.LiveReport plus the OpenMetrics
+// exporter for the whole timed region — the worst-case concurrent
+// observer a real run would see.
+func benchObsChainLive(b *testing.B, session *obs.Session) {
+	n := b.N
+	var doc *live.Doctor
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	hook := func(targets []live.Target, cs []live.Collector) {
+		doc = live.NewDoctor(live.Config{Quiet: time.Hour, Interval: time.Millisecond}, targets...)
+		doc.Start()
+		exp := &live.Exporter{Session: session, Collectors: cs}
+		scraper.Add(1)
+		go func() {
+			defer scraper.Done()
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = session.LiveReport()
+					_ = exp.Export(io.Discard)
+				}
+			}
+		}()
+	}
+	ttg.RunLive(ttg.Config{Ranks: 1, WorkersPerRank: 1, Obs: session}, hook, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		e := ttg.NewEdge[ttg.Int1, float64]("chain")
+		ttg.MakeTT1(g, "hop", ttg.Input(e), ttg.Out(e),
+			func(x *ttg.Ctx[ttg.Int1], v float64) {
+				k := x.Key()[0]
+				if k < n {
+					ttg.Send(x, e, ttg.Int1{k + 1}, v)
+				}
+			},
+			ttg.Options[ttg.Int1]{Keymap: func(k ttg.Int1) int { return 0 }},
+		)
+		g.MakeExecutable()
+		b.ResetTimer()
+		ttg.Seed(g, e, ttg.Int1{0}, 1.0)
+		g.Fence()
+	})
+	b.StopTimer()
+	close(stop)
+	scraper.Wait()
+	doc.Stop()
+}
+
+// benchObsChainRemote ping-pongs the chain between two ranks so every hop
+// crosses the fabric; with a session attached each hop additionally
+// carries a causal-span id on the wire and records the emit/recv pair.
+func benchObsChainRemote(b *testing.B, session *obs.Session) {
+	n := b.N
+	ttg.Run(ttg.Config{Ranks: 2, WorkersPerRank: 1, Obs: session}, func(pc *ttg.Process) {
+		g := pc.NewGraph()
+		e := ttg.NewEdge[ttg.Int1, float64]("chain")
+		ttg.MakeTT1(g, "hop", ttg.Input(e), ttg.Out(e),
+			func(x *ttg.Ctx[ttg.Int1], v float64) {
+				k := x.Key()[0]
+				if k < n {
+					ttg.Send(x, e, ttg.Int1{k + 1}, v)
+				}
+			},
+			ttg.Options[ttg.Int1]{Keymap: func(k ttg.Int1) int { return k[0] % 2 }},
+		)
+		g.MakeExecutable()
+		if pc.Rank() == 0 {
+			b.ResetTimer()
+			ttg.Seed(g, e, ttg.Int1{0}, 1.0)
+		}
+		g.Fence()
+	})
+}
+
+// TestObsOverheadGuard enforces the live-introspection overhead budget:
+// with TTG_BENCH_GUARD=1 (the bench-smoke CI step) it benchmarks the
+// enabled chain against the live chain and fails if attaching the
+// doctor, snapshot scraper, and exporter costs more than 5% on the hot
+// path. A small absolute epsilon absorbs timer noise on sub-microsecond
+// ops; each side takes the best of three runs to shed scheduler jitter.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("TTG_BENCH_GUARD") != "1" {
+		t.Skip("set TTG_BENCH_GUARD=1 to run the overhead guard")
+	}
+	best := func(bench func(b *testing.B)) float64 {
+		ns := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(bench)
+			if v := float64(r.T.Nanoseconds()) / float64(r.N); v < ns {
+				ns = v
+			}
+		}
+		return ns
+	}
+	base := best(func(b *testing.B) { benchObsChain(b, benchSession(b)) })
+	withLive := best(func(b *testing.B) { benchObsChainLive(b, benchSession(b)) })
+	const budget = 1.05
+	const epsilonNs = 60.0
+	if withLive > base*budget+epsilonNs {
+		t.Fatalf("live introspection overhead over budget: enabled %.0f ns/op, live %.0f ns/op (%.1f%% > 5%%)",
+			base, withLive, (withLive/base-1)*100)
+	}
+	t.Logf("live introspection overhead: enabled %.0f ns/op, live %.0f ns/op (%+.1f%%)",
+		base, withLive, (withLive/base-1)*100)
 }
 
 func benchSendChain(b *testing.B, ranks int) {

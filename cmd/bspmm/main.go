@@ -52,7 +52,7 @@ func main() {
 	start := time.Now()
 	var appStats string
 	session := obsFlags.Session()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
+	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, obsFlags.Hook(), func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := bspmm.Build(g, bspmm.Options{
 			A: mat, Variant: variant, Layers: *layers,
@@ -78,6 +78,9 @@ func main() {
 	fmt.Printf("product tiles: %d, Σ‖C tile‖_F = %.6g\n", produced, checksum)
 	fmt.Printf("time %.3fs (%.2f GF/s aggregate)\n", elapsed.Seconds(), mat.MulFlops()/elapsed.Seconds()/1e9)
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.FinishDoctor(); err != nil {
+		log.Fatal(err)
+	}
 	if err := obsFlags.Finish(session); err != nil {
 		log.Fatal(err)
 	}

@@ -47,7 +47,7 @@ func main() {
 	var stats trace.Snapshot
 	start := time.Now()
 	session := obsFlags.Session()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
+	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, obsFlags.Hook(), func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := fw.Build(g, fw.Options{
 			Grid: grid, Variant: variant, Priorities: variant == fw.TTGVariant,
@@ -75,6 +75,9 @@ func main() {
 	fmt.Printf("time %.3fs (%.2f Gop/s aggregate)\n",
 		elapsed.Seconds(), fw.Flops(*n)/elapsed.Seconds()/1e9)
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.FinishDoctor(); err != nil {
+		log.Fatal(err)
+	}
 	if err := obsFlags.Finish(session); err != nil {
 		log.Fatal(err)
 	}

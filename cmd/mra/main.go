@@ -55,7 +55,7 @@ func main() {
 	}
 	start := time.Now()
 	session := obsFlags.Session()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
+	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, obsFlags.Hook(), func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := mra.Build(g, opts)
 		g.MakeExecutable()
@@ -91,6 +91,9 @@ func main() {
 	fmt.Printf("verified: worst relative norm error %.3g (analytic %.8g)\n", worst, want)
 	fmt.Printf("time %.3fs\n", elapsed.Seconds())
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.FinishDoctor(); err != nil {
+		log.Fatal(err)
+	}
 	if err := obsFlags.Finish(session); err != nil {
 		log.Fatal(err)
 	}

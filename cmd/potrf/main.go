@@ -48,7 +48,7 @@ func main() {
 	var stats trace.Snapshot
 	start := time.Now()
 	session := obsFlags.Session()
-	ttg.Run(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, func(pc *ttg.Process) {
+	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, obsFlags.Hook(), func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := cholesky.Build(g, cholesky.Options{
 			Grid: grid, Variant: variant, Priorities: variant == cholesky.TTGVariant,
@@ -77,6 +77,9 @@ func main() {
 	fmt.Printf("verified: max |L·Lᵀ − A| = %.3g\n", maxErr)
 	fmt.Printf("time %.3fs (%.2f GF/s aggregate)\n", elapsed.Seconds(), gflops)
 	fmt.Printf("stats: %s\n", stats)
+	if err := obsFlags.FinishDoctor(); err != nil {
+		log.Fatal(err)
+	}
 	if err := obsFlags.Finish(session); err != nil {
 		log.Fatal(err)
 	}

@@ -7,12 +7,16 @@
 //
 //	ttg-bench [-quick] [-csv] fig5|fig6|fig8|fig9|fig12|fig13a|fig13b|all|env
 //	ttg-bench [-app potrf|fwapsp|bspmm|mra] [-backend parsec|madness] [-http :6060] trace|stats
+//	ttg-bench [-app potrf|fwapsp] [-backend parsec|madness] [-broken] [-doctor-quiet 2s] doctor
 //
 // -quick runs the scaled-down sweeps (seconds instead of minutes). The
 // trace and stats subcommands run one application for real with the
 // observability layer on, writing a Chrome-trace JSON (trace) or printing
 // per-template profiles, histograms, and the observed critical path
-// (stats); -http serves net/http/pprof and expvar live during the run.
+// (stats); -http serves net/http/pprof, expvar, and an OpenMetrics
+// /metrics endpoint live during the run. The doctor subcommand attaches
+// the live stall watchdog: a wedged graph (try -broken) is diagnosed with
+// a blame-edge report and exit status 1.
 package main
 
 import (
@@ -30,7 +34,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	timeline := flag.String("timeline", "", "with profile: write a Chrome trace JSON to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ttg-bench [-quick] [-csv] fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|hetero|all|env|profile|trace|stats\n")
+		fmt.Fprintf(os.Stderr, "usage: ttg-bench [-quick] [-csv] fig5|fig6|fig8|fig9|fig11|fig12|fig13a|fig13b|hetero|all|env|profile|trace|stats|doctor\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,6 +67,8 @@ func main() {
 	switch cmd := flag.Arg(0); cmd {
 	case "trace", "stats":
 		runObserved(cmd)
+	case "doctor":
+		runDoctor()
 	case "fig11":
 		fmt.Print(experiments.Fig11(scale))
 	case "profile":

@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps/fw"
 	"repro/internal/apps/mra"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/sparse"
 	"repro/internal/tile"
 	"repro/ttg"
@@ -43,23 +44,30 @@ func runObserved(cmd string) {
 	}
 	session := obs.NewSession(obs.Config{})
 
-	if *obsHTTP != "" {
-		// Live metrics: /debug/vars serves the merged registry report,
-		// /debug/pprof the usual profiles, while the workload runs.
-		expvar.Publish("ttg_obs", expvar.Func(func() any { return session.Report() }))
+	// The live endpoints come up inside the pre-run hook — after the
+	// runtime exists (so /metrics has its per-rank collectors) and before
+	// any rank main starts. The expvar snapshot serves LiveReport, which
+	// reads only atomics: scraping mid-run can no longer race the event
+	// buffers that the final session.Report() scans at shutdown.
+	hook := func(_ []live.Target, cs []live.Collector) {
+		if *obsHTTP == "" {
+			return
+		}
+		expvar.Publish("ttg_obs", expvar.Func(func() any { return session.LiveReport() }))
+		http.Handle("/metrics", &live.Exporter{Session: session, Collectors: cs})
 		go func() {
 			if err := http.ListenAndServe(*obsHTTP, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "http endpoint: %v\n", err)
 			}
 		}()
-		fmt.Printf("serving pprof+expvar on %s (during the run)\n", *obsHTTP)
+		fmt.Printf("serving pprof+expvar+/metrics on %s (during the run)\n", *obsHTTP)
 	}
 
 	cfg := ttg.Config{Ranks: *obsRanks, WorkersPerRank: *obsWorkers, Backend: be, Obs: session}
 	switch *obsApp {
 	case "potrf":
 		grid := tile.Grid{N: *obsN, NB: 64}
-		ttg.Run(cfg, func(pc *ttg.Process) {
+		ttg.RunLive(cfg, hook, func(pc *ttg.Process) {
 			g := pc.NewGraph()
 			app := cholesky.Build(g, cholesky.Options{Grid: grid, Priorities: true})
 			g.MakeExecutable()
@@ -68,7 +76,7 @@ func runObserved(cmd string) {
 		})
 	case "fwapsp":
 		grid := tile.Grid{N: *obsN, NB: 64}
-		ttg.Run(cfg, func(pc *ttg.Process) {
+		ttg.RunLive(cfg, hook, func(pc *ttg.Process) {
 			g := pc.NewGraph()
 			app := fw.Build(g, fw.Options{Grid: grid, Priorities: true})
 			g.MakeExecutable()
@@ -83,7 +91,7 @@ func runObserved(cmd string) {
 		spec := sparse.DefaultSpec(atoms)
 		spec.MaxTile = 64
 		mat := sparse.Generate(spec)
-		ttg.Run(cfg, func(pc *ttg.Process) {
+		ttg.RunLive(cfg, hook, func(pc *ttg.Process) {
 			g := pc.NewGraph()
 			app := bspmm.Build(g, bspmm.Options{A: mat})
 			g.MakeExecutable()
@@ -92,7 +100,7 @@ func runObserved(cmd string) {
 		})
 	case "mra":
 		funcs := 4
-		ttg.Run(cfg, func(pc *ttg.Process) {
+		ttg.RunLive(cfg, hook, func(pc *ttg.Process) {
 			g := pc.NewGraph()
 			app := mra.Build(g, mra.Options{K: 8, D: 3, NFuncs: funcs, Exponent: 600, Tol: 1e-7, Seed: 7})
 			g.MakeExecutable()

@@ -68,6 +68,12 @@ type Options struct {
 	// OnResult, when non-nil, receives every factored tile (L's lower
 	// triangle including the diagonal) on its owner rank.
 	OnResult func(i, j int, t *tile.Tile)
+	// Miswire deliberately breaks the graph: TRSM drops its send on the
+	// trsm_syrk edge, so every SYRK shell accumulates its carry input but
+	// never its panel input and the factorization wedges. Fixture for the
+	// graph doctor (`ttg-bench doctor -broken`) — never set it for real
+	// runs.
+	Miswire bool
 }
 
 // App is one rank's Cholesky graph.
@@ -169,9 +175,14 @@ func (a *App) build() {
 		for i := m + 1; i < nt; i++ {
 			cols = append(cols, ttg.Int3{i, m, k})
 		}
+		syrks := []ttg.Int2{{m, k}}
+		if opts.Miswire {
+			// Broken-graph fixture: never feed SYRK's panel input.
+			syrks = nil
+		}
 		ttg.BroadcastMulti(x, amk, ttg.Borrow,
 			ttg.To(a.result, ttg.Int2{m, k}),
-			ttg.To(a.trsmSyrk, ttg.Int2{m, k}),
+			ttg.To(a.trsmSyrk, syrks...),
 			ttg.To(a.gemmRow, rows...),
 			ttg.To(a.gemmCol, cols...),
 		)

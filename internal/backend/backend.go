@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/serde"
@@ -223,6 +224,13 @@ func newProc(rt *Runtime, rank int) *Proc {
 	p.pool.Trace(&p.tr)
 	if p.rec != nil {
 		p.pool.Observe(p.rec)
+		// A panicking task body must not take the in-flight trace down with
+		// the process: flush the session's Chrome trace (once, cluster-wide)
+		// before the panic resumes.
+		session := rt.opts.Obs
+		p.pool.OnPanic(func(w int, r any) {
+			live.CrashDump(session, nil, fmt.Sprintf("rank %d worker %d panic: %v", rank, w, r))
+		})
 	}
 	if rt.opts.CoalesceBytes > 0 {
 		p.coal = newCoalescer(p, rt.Ranks(), rt.opts.CoalesceBytes, rt.opts.CoalesceCount)
@@ -637,4 +645,75 @@ func (p *Proc) recordDeliver(bytes int) {
 		p.rec.Record(obs.Event{Kind: obs.EvMsgDeliver, Worker: -1, TT: -1,
 			Bytes: int64(bytes)})
 	}
+}
+
+// boundGraph returns the rank's graph once Bind has run, nil before; the
+// ready-channel close is the synchronization point, so concurrent readers
+// (doctor, metrics scrape) never race Bind's write of p.graph.
+func (p *Proc) boundGraph() *core.Graph {
+	select {
+	case <-p.ready:
+		return p.graph
+	default:
+		return nil
+	}
+}
+
+// LiveTarget exposes this rank to the graph doctor: its bound graph, its
+// forward-progress counters, and the termination detector's activity level.
+func (p *Proc) LiveTarget() live.Target {
+	return live.Target{
+		Rank:  p.rank,
+		Graph: p.boundGraph,
+		Progress: func() live.Progress {
+			return live.Progress{
+				Tasks:        p.tr.TasksExecuted.Load(),
+				MsgsSent:     p.tr.MsgsSent.Load(),
+				MsgsReceived: p.tr.MsgsReceived.Load(),
+			}
+		},
+		Active: p.det.Active,
+	}
+}
+
+// CollectLive implements live.Collector: instantaneous progress gauges for
+// the OpenMetrics endpoint, all read from atomics or lock-free sources.
+func (p *Proc) CollectLive(emit func(live.Sample)) {
+	if g := p.boundGraph(); g != nil {
+		emit(live.Sample{Name: obs.GaugePendingShells, Rank: p.rank,
+			Value: float64(g.PendingTaskCount())})
+	}
+	var depth int
+	for _, d := range p.pool.Depths() {
+		depth += d
+	}
+	emit(live.Sample{Name: obs.GaugeDequeDepth, Rank: p.rank, Value: float64(depth)})
+	if p.coal != nil {
+		emit(live.Sample{Name: obs.GaugeCoalesceQueuedBytes, Rank: p.rank,
+			Value: float64(p.coal.queuedBytes.Load())})
+		emit(live.Sample{Name: obs.GaugeCoalesceQueuedMsgs, Rank: p.rank,
+			Value: float64(p.coal.queuedMsgs.Load())})
+	}
+	emit(live.Sample{Name: obs.GaugeRendezvousOutstanding, Rank: p.rank,
+		Value: float64(p.ep.RegionCount())})
+	emit(live.Sample{Name: obs.GaugeTermdetActive, Rank: p.rank,
+		Value: float64(p.det.Active())})
+}
+
+// LiveTargets builds one doctor target per rank.
+func (rt *Runtime) LiveTargets() []live.Target {
+	out := make([]live.Target, len(rt.procs))
+	for i, p := range rt.procs {
+		out[i] = p.LiveTarget()
+	}
+	return out
+}
+
+// LiveCollectors returns every rank as an OpenMetrics collector.
+func (rt *Runtime) LiveCollectors() []live.Collector {
+	out := make([]live.Collector, len(rt.procs))
+	for i, p := range rt.procs {
+		out[i] = p
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/serde"
 )
@@ -22,6 +23,12 @@ type coalescer struct {
 	maxBytes int
 	maxCount int
 	peers    []peerBuf
+
+	// Live gauges for the introspection endpoint: bytes and messages
+	// currently buffered across all peer frames (grow on add, shrink when a
+	// frame is taken for the wire).
+	queuedBytes atomic.Int64
+	queuedMsgs  atomic.Int64
 }
 
 // peerBuf accumulates the pending frame for one destination rank.
@@ -49,6 +56,8 @@ func (c *coalescer) add(dest int, kind uint8, b *serde.Buffer) {
 	pb.buf.PutU8(kind)
 	pb.buf.PutRaw(b.Bytes())
 	pb.count++
+	c.queuedBytes.Add(int64(1 + len(b.Bytes())))
+	c.queuedMsgs.Add(1)
 	var out *serde.Buffer
 	var n int
 	if pb.buf.Len() >= c.maxBytes || pb.count >= c.maxCount {
@@ -58,6 +67,8 @@ func (c *coalescer) add(dest int, kind uint8, b *serde.Buffer) {
 	pb.mu.Unlock()
 	b.Release()
 	if out != nil {
+		c.queuedBytes.Add(int64(-out.Len()))
+		c.queuedMsgs.Add(int64(-n))
 		c.p.flushFrame(dest, out, n)
 	}
 }
@@ -70,6 +81,8 @@ func (c *coalescer) flush(dest int) {
 	pb.buf, pb.count = nil, 0
 	pb.mu.Unlock()
 	if out != nil {
+		c.queuedBytes.Add(int64(-out.Len()))
+		c.queuedMsgs.Add(int64(-n))
 		c.p.flushFrame(dest, out, n)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/trace"
@@ -64,6 +65,7 @@ type Runtime struct {
 	curExtra float64 // copy-time charged during the current event
 	profile  map[string]*TTStat
 	timeline *Timeline
+	flowSeq  atomic.Uint64 // causal-span ids for timeline flow arrows
 	// effectBuf, when non-nil, captures executor effects (submits, sends)
 	// of the task body being executed so they can be released after the
 	// body's copy-time extension — copies then delay consumers, not just
@@ -193,6 +195,9 @@ type Proc struct {
 	recvFreeAt  float64 // communication-thread reservation
 	tr          trace.Collector
 	graph       *core.Graph
+	// bound mirrors graph for concurrent readers (the doctor probes from
+	// its own goroutine while rank mains may still be binding).
+	bound atomic.Pointer[core.Graph]
 }
 
 // Rank implements core.Executor.
@@ -229,6 +234,35 @@ func (p *Proc) Bind(g *core.Graph) {
 		panic("sim: Bind before Seal")
 	}
 	p.graph = g
+	p.bound.Store(g)
+}
+
+// LiveTarget exposes this virtual rank to the graph doctor. The simulator
+// has no termination detector (quiescence is an empty event queue), so
+// Active is nil; the doctor is used post-fence via Diagnose — the sim
+// fence returns even when the graph is wedged, which is exactly when the
+// pending shells are worth classifying.
+func (p *Proc) LiveTarget() live.Target {
+	return live.Target{
+		Rank:  p.rank,
+		Graph: p.bound.Load,
+		Progress: func() live.Progress {
+			return live.Progress{
+				Tasks:        p.tr.TasksExecuted.Load(),
+				MsgsSent:     p.tr.MsgsSent.Load(),
+				MsgsReceived: p.tr.MsgsReceived.Load(),
+			}
+		},
+	}
+}
+
+// LiveTargets builds one doctor target per virtual rank.
+func (rt *Runtime) LiveTargets() []live.Target {
+	out := make([]live.Target, len(rt.procs))
+	for i, p := range rt.procs {
+		out[i] = p.LiveTarget()
+	}
+	return out
 }
 
 // NewGraph builds a graph on this executor.
@@ -394,6 +428,14 @@ func (p *Proc) deliver(dest int, d core.Delivery) {
 	eng := p.rt.eng
 	now := eng.Now()
 	p.tr.MsgsSent.Add(1)
+	// Causal span: tag the delivery with a flow id and record the send
+	// point; inject records the receive point and the exporter draws the
+	// arrow. Flow ids ride outside HeaderWireSize, so tracing never
+	// perturbs simulated message sizes or timings.
+	if p.rt.timeline != nil && d.Flow == 0 {
+		d.Flow = p.rt.flowSeq.Add(1)
+		p.rt.timeline.flowSend(d.Flow, p.rank, now)
+	}
 
 	useSplit := false
 	var payload int
@@ -451,6 +493,9 @@ func (p *Proc) deliver(dest int, d core.Delivery) {
 func (q *Proc) inject(d core.Delivery) {
 	rt := q.rt
 	rt.curExtra = 0
+	if d.Flow != 0 && rt.timeline != nil {
+		rt.timeline.flowRecv(d.Flow, q.rank, rt.eng.Now())
+	}
 	q.tr.MsgsReceived.Add(1)
 	q.tr.BytesReceived.Add(int64(valueBytes(d)))
 	q.graph.Inject(d)
@@ -496,6 +541,20 @@ func (p *Proc) broadcast(dests map[int]core.Delivery) {
 	}
 	if sample.Control == core.CtrlNone && sample.Value != nil {
 		total += serde.WireSizeAny(sample.Value)
+	}
+	// Tree broadcast: one flow per destination, all rooted at the send
+	// point, so the trace shows the root fanning out to every receiver
+	// even though the bytes travel hop-by-hop.
+	if p.rt.timeline != nil {
+		now := p.rt.eng.Now()
+		for _, dst := range ranks {
+			d := dests[dst]
+			if d.Flow == 0 {
+				d.Flow = p.rt.flowSeq.Add(1)
+				p.rt.timeline.flowSend(d.Flow, p.rank, now)
+				dests[dst] = d
+			}
+		}
 	}
 	order := collective.Order(p.rank, ranks)
 	// Like point-to-point transfers, broadcast hops use the one-sided

@@ -12,6 +12,22 @@ import (
 // one thread lane per concurrently busy worker.
 type Timeline struct {
 	spans []Span
+	// Causal flow points: sends keyed by flow id, receives in arrival
+	// order. Only the drain goroutine (or the seed-phase lock holder)
+	// writes, matching spans.
+	flowSends map[uint64]flowPoint
+	flowRecvs []flowEnd
+}
+
+// flowPoint is one endpoint of a causal message arrow.
+type flowPoint struct {
+	rank int
+	ts   float64 // virtual seconds
+}
+
+type flowEnd struct {
+	id uint64
+	flowPoint
 }
 
 // Span is one task execution in virtual time.
@@ -45,6 +61,35 @@ func (rt *Runtime) recordSpan(name string, rank int, start, dur float64, device 
 
 // Spans returns the recorded spans in recording order.
 func (tl *Timeline) Spans() []Span { return tl.spans }
+
+func (tl *Timeline) flowSend(id uint64, rank int, ts float64) {
+	if tl.flowSends == nil {
+		tl.flowSends = map[uint64]flowPoint{}
+	}
+	tl.flowSends[id] = flowPoint{rank: rank, ts: ts}
+}
+
+func (tl *Timeline) flowRecv(id uint64, rank int, ts float64) {
+	tl.flowRecvs = append(tl.flowRecvs, flowEnd{id: id, flowPoint: flowPoint{rank: rank, ts: ts}})
+}
+
+// Flows returns the paired causal arrows (send matched to receive);
+// unmatched endpoints — a message still in flight at export — are dropped.
+func (tl *Timeline) Flows() []obs.ChromeFlow {
+	var out []obs.ChromeFlow
+	for _, re := range tl.flowRecvs {
+		se, ok := tl.flowSends[re.id]
+		if !ok {
+			continue
+		}
+		out = append(out, obs.ChromeFlow{
+			Name: "msg", ID: re.id,
+			SrcPid: se.rank, SrcTid: 0, SrcTS: se.ts * 1e6,
+			DstPid: re.rank, DstTid: 0, DstTS: re.ts * 1e6,
+		})
+	}
+	return out
+}
 
 // ChromeJSON renders the timeline in the Chrome trace-event format via the
 // shared obs writer (the same schema real-backend session exports use).
@@ -97,5 +142,5 @@ func (tl *Timeline) ChromeJSON() string {
 			TS: s.Start * 1e6, Dur: s.Dur * 1e6,
 		}
 	}
-	return obs.ChromeJSON(spans, nil)
+	return obs.ChromeJSONFull(spans, nil, tl.Flows())
 }

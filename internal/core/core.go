@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -72,6 +73,11 @@ type Delivery struct {
 	// construction exclusive). The sim backend passes objects across
 	// virtual ranks by reference and leaves it false.
 	Exclusive bool
+	// Flow is the causal span id linking this delivery to the sending task
+	// across the rank boundary (Chrome flow events). Zero means untraced;
+	// nonzero ids are unique per remote delivery and ride the wire header
+	// behind a flag bit, so untraced runs pay no wire bytes.
+	Flow uint64
 }
 
 // Executor is the contract a runtime backend provides to a graph.
@@ -116,6 +122,10 @@ type Executor interface {
 type Edge struct {
 	name      string
 	consumers []consumer
+	// producers lists the output terminals feeding this edge (filled by
+	// AddTT from TTSpec.Outputs); the graph doctor uses it to blame the
+	// template that should have produced a missing input.
+	producers []consumer
 }
 
 type consumer struct {
@@ -209,6 +219,12 @@ type Graph struct {
 	copiesAvoided *obs.Counter
 	pubCopies     int64
 	pubAvoided    int64
+
+	// pendingShells gauges partially matched shells (nil when obs is off).
+	pendingShells *obs.Gauge
+	// flowSeq allocates causal span ids for remote deliveries; combined
+	// with the rank it yields cluster-unique nonzero ids.
+	flowSeq atomic.Uint64
 }
 
 // NewGraph creates an empty graph bound to a backend executor.
@@ -223,8 +239,15 @@ func NewGraph(exec Executor) *Graph {
 		g.folds = m.Counter(obs.CounterFolds)
 		g.dataCopies = m.Counter(obs.CounterDataCopies)
 		g.copiesAvoided = m.Counter(obs.CounterCopiesAvoided)
+		g.pendingShells = m.Gauge(obs.GaugePendingShells)
 	}
 	return g
+}
+
+// nextFlow allocates a cluster-unique nonzero causal span id: the rank in
+// the high bits, a local sequence in the low 48.
+func (g *Graph) nextFlow() uint64 {
+	return uint64(g.exec.Rank()+1)<<48 | (g.flowSeq.Add(1) & (1<<48 - 1))
 }
 
 // Rank returns the local rank.
@@ -270,6 +293,11 @@ func (g *Graph) AddTT(spec TTSpec) *TT {
 			panic(fmt.Sprintf("core: TT %q input %d has no edge", spec.Name, term))
 		}
 		in.Edge.consumers = append(in.Edge.consumers, consumer{tt: tt, term: term})
+	}
+	for term, out := range spec.Outputs {
+		if out.Edge != nil {
+			out.Edge.producers = append(out.Edge.producers, consumer{tt: tt, term: term})
+		}
 	}
 	g.tts = append(g.tts, tt)
 	return tt

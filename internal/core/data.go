@@ -76,6 +76,15 @@ type tracked struct {
 	cmp bool
 }
 
+// liveTracked counts tracked handles whose references have not all been
+// resolved yet — a live gauge of runtime-owned in-flight values
+// (process-global; the live exporter samples it).
+var liveTracked atomic.Int64
+
+// LiveTrackedHandles reports the number of refcounted value handles
+// currently live in the data tracker (diagnostics/metrics).
+func LiveTrackedHandles() int64 { return liveTracked.Load() }
+
 // newTracked wraps value in a handle carrying refs references.
 func newTracked(value any, refs int, reclaim bool) *tracked {
 	h := &tracked{value: value, reclaim: reclaim}
@@ -83,6 +92,7 @@ func newTracked(value any, refs int, reclaim bool) *tracked {
 	if value != nil {
 		h.cmp = reflect.TypeOf(value).Comparable()
 	}
+	liveTracked.Add(1)
 	return h
 }
 
@@ -90,9 +100,12 @@ func newTracked(value any, refs int, reclaim bool) *tracked {
 // returns pooled payloads to their pool. Consumers that took the value in
 // place (CAS 1→0) own it outright and never call drop.
 func (h *tracked) drop() {
-	if h.refs.Add(-1) == 0 && h.reclaim && !h.escaped.Load() {
-		if r, ok := h.value.(pool.Releasable); ok {
-			r.Release()
+	if h.refs.Add(-1) == 0 {
+		liveTracked.Add(-1)
+		if h.reclaim && !h.escaped.Load() {
+			if r, ok := h.value.(pool.Releasable); ok {
+				r.Release()
+			}
 		}
 	}
 }
@@ -117,6 +130,7 @@ func (t *Task) materialize() {
 			// Sole live reference: the exclusive consumer takes the value
 			// in place and owns it from here on (never reclaimed).
 			t.Inputs[i] = h.value
+			liveTracked.Add(-1)
 			tr.CopiesAvoided.Add(1)
 		} else {
 			// Copy-on-write: other consumers still read the value, so this

@@ -85,19 +85,33 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 
 	if len(remote) == 1 {
 		for dst, targets := range remote {
+			d := Delivery{Targets: targets, Value: value, Mode: mode}
 			if o := g.obs; o != nil {
 				o.Record(obs.Event{Kind: obs.EvSend, Worker: int32(worker), TT: -1})
+				d.Flow = g.nextFlow()
+				o.Record(obs.Event{Kind: obs.EvFlowEmit, Worker: int32(worker), TT: -1,
+					Flow: d.Flow, Bytes: int64(dst)})
 			}
-			g.exec.Deliver(dst, Delivery{Targets: targets, Value: value, Mode: mode})
+			g.exec.Deliver(dst, d)
 		}
 	} else if len(remote) > 1 {
-		if o := g.obs; o != nil {
+		o := g.obs
+		if o != nil {
 			o.Record(obs.Event{Kind: obs.EvBroadcast, Worker: int32(worker), TT: -1,
 				Bytes: int64(len(remote))})
 		}
 		dests := make(map[int]Delivery, len(remote))
 		for dst, targets := range remote {
-			dests[dst] = Delivery{Targets: targets, Value: value, Mode: mode}
+			d := Delivery{Targets: targets, Value: value, Mode: mode}
+			if o != nil {
+				// One flow id per destination: each arrow pairs a single emit
+				// with the single inject on its receiving rank, even when the
+				// transport relays the value along a broadcast tree.
+				d.Flow = g.nextFlow()
+				o.Record(obs.Event{Kind: obs.EvFlowEmit, Worker: int32(worker), TT: -1,
+					Flow: d.Flow, Bytes: int64(dst)})
+			}
+			dests[dst] = d
 		}
 		g.exec.Broadcast(dests)
 	}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/serde"
 )
@@ -53,6 +54,9 @@ type matchShard struct {
 type matchTable struct {
 	shards []matchShard
 	mask   uint64
+	// live mirrors the total shell count across shards so diagnostics (the
+	// graph doctor, live gauges) can read it without sweeping shard locks.
+	live atomic.Int64
 }
 
 func (m *matchTable) init() {
@@ -80,6 +84,40 @@ func (m *matchTable) pending() int {
 		sp.mu.Unlock()
 	}
 	return n
+}
+
+// shellState is a point-in-time copy of one pending shell's fill state,
+// taken under its shard lock. Classification (which inputs are missing,
+// who should have sent them) happens after the lock is released.
+type shellState struct {
+	key       any
+	satisfied uint64
+	counts    []int
+	targets   []int
+}
+
+// collect copies the fill state of up to max pending shells (all of them
+// when max <= 0), locking one shard at a time.
+func (m *matchTable) collect(max int) []shellState {
+	var out []shellState
+	for i := range m.shards {
+		sp := &m.shards[i]
+		sp.mu.Lock()
+		for key, sh := range sp.shells {
+			if max > 0 && len(out) >= max {
+				sp.mu.Unlock()
+				return out
+			}
+			out = append(out, shellState{
+				key:       key,
+				satisfied: sh.satisfied,
+				counts:    append([]int(nil), sh.counts...),
+				targets:   append([]int(nil), sh.targets...),
+			})
+		}
+		sp.mu.Unlock()
+	}
+	return out
 }
 
 // shell accumulates the inputs of one task instance until all terminals

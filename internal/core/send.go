@@ -235,6 +235,17 @@ func (g *Graph) InjectBatch(ds []Delivery) {
 
 // injectCollect lands one delivery and accumulates any tasks it made ready.
 func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
+	if d.Flow != 0 {
+		if o := g.obs; o != nil {
+			tt := int32(-1)
+			name := ""
+			if len(d.Targets) > 0 {
+				tt = int32(d.Targets[0].TT)
+				name = g.tts[d.Targets[0].TT].name
+			}
+			o.Record(obs.Event{Kind: obs.EvFlowRecv, Worker: -1, TT: tt, Flow: d.Flow, Name: name})
+		}
+	}
 	add := func(t *Task) {
 		if *first == nil {
 			*first = t
@@ -401,6 +412,10 @@ func (tt *TT) getShellLocked(sp *matchShard, key any) *shell {
 		}
 	}
 	sp.shells[key] = sh
+	tt.match.live.Add(1)
+	if pg := tt.g.pendingShells; pg != nil {
+		pg.Add(1)
+	}
 	return sh
 }
 
@@ -414,7 +429,11 @@ func (g *Graph) maybeReadyLocked(tt *TT, key any, sp *matchShard, sh *shell, wor
 		return nil
 	}
 	delete(sp.shells, key)
+	tt.match.live.Add(-1)
 	sp.mu.Unlock()
+	if pg := g.pendingShells; pg != nil {
+		pg.Add(-1)
+	}
 	// The shell leaves the table before its task runs; the embedded task
 	// is submitted in place (no allocation) and Execute recycles the shell.
 	// holds seeds from the shell's recycled backing array (len 0), so

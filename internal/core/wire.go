@@ -9,12 +9,27 @@ import "repro/internal/serde"
 // archive bytes, or a splitmd metadata+RMA pair) is the backend's choice
 // and is appended after the header.
 
+// headerFlowFlag marks a header whose first byte is followed by a causal
+// flow id (uvarint). Bits 0-3 hold the control kind, bits 4-6 the send
+// mode, leaving the top bit for the flag — so deliveries without flow
+// context encode byte-identically to the pre-flow format.
+const headerFlowFlag = 0x80
+
 // EncodeHeader appends d's routing header (everything except the value).
 // The first byte packs the control kind (low nibble) with the send mode
-// (high nibble), so data-passing semantics survive the rank boundary —
-// the receiver's tracker needs Mode to decide handle ownership.
+// (bits 4-6), so data-passing semantics survive the rank boundary — the
+// receiver's tracker needs Mode to decide handle ownership. When the
+// delivery carries causal span context (d.Flow != 0) the top bit is set
+// and the flow id follows as a uvarint; untraced runs pay zero bytes.
 func EncodeHeader(b *serde.Buffer, d Delivery) {
-	b.PutU8(uint8(d.Control) | uint8(d.Mode)<<4)
+	c := uint8(d.Control) | uint8(d.Mode)<<4
+	if d.Flow != 0 {
+		c |= headerFlowFlag
+	}
+	b.PutU8(c)
+	if d.Flow != 0 {
+		b.PutUvarint(d.Flow)
+	}
 	if d.Control == CtrlSetSize {
 		b.PutVarint(int64(d.N))
 	}
@@ -35,7 +50,10 @@ func DecodeHeader(b *serde.Buffer) Delivery {
 	var d Delivery
 	c := b.U8()
 	d.Control = ControlKind(c & 0x0f)
-	d.Mode = SendMode(c >> 4)
+	d.Mode = SendMode((c >> 4) & 0x7)
+	if c&headerFlowFlag != 0 {
+		d.Flow = b.Uvarint()
+	}
 	if d.Control == CtrlSetSize {
 		d.N = int(b.Varint())
 	}
@@ -54,7 +72,9 @@ func DecodeHeader(b *serde.Buffer) Delivery {
 	return d
 }
 
-// HeaderWireSize estimates the encoded header size (cost models).
+// HeaderWireSize estimates the encoded header size (cost models). The
+// flow id is deliberately excluded so enabling tracing never perturbs the
+// simulator's virtual message sizes.
 func HeaderWireSize(d Delivery) int {
 	n := 1
 	if d.Control == CtrlSetSize {

@@ -230,8 +230,13 @@ func criticalPath(spans []execSpan) CritPath {
 }
 
 // Report assembles the full analysis for the session: event-stream
-// analysis plus merged metric registries (per-rank and global).
+// analysis plus merged metric registries (per-rank and global). Report
+// scans the raw event buffers, so it must only run after the observed run
+// has quiesced; concurrent Report calls are serialized. For snapshots
+// while the run is still recording, use LiveReport instead.
 func (s *Session) Report() *Report {
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
 	rep := Analyze(s.Events())
 	rep.Dropped = s.Dropped()
 	rep.PerRank = map[int]RegistrySnapshot{}

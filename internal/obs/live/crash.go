@@ -1,0 +1,101 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"repro/internal/obs"
+)
+
+// Crash-dump plumbing: a panic in a worker goroutine (or a SIGQUIT) used
+// to take the whole in-flight obs trace down with the process. The
+// backend's pool panic hook and the CLI's signal handler both land here:
+// flush whatever the session has recorded so far as a Chrome trace, plus
+// the doctor's current pending-shell diagnosis when one is attached, then
+// let the process die as before.
+
+// EnvCrashTrace names the environment variable overriding the crash-dump
+// trace path.
+const EnvCrashTrace = "TTG_CRASH_TRACE"
+
+// DefaultCrashTrace is the crash-dump trace path when EnvCrashTrace is
+// unset.
+const DefaultCrashTrace = "ttg-crash-trace.json"
+
+// CrashDumpPath returns the path crash handlers write the trace to.
+func CrashDumpPath() string {
+	if p := os.Getenv(EnvCrashTrace); p != "" {
+		return p
+	}
+	return DefaultCrashTrace
+}
+
+// WriteCrashDump flushes the session's in-flight Chrome trace to path
+// and, when a doctor is attached, its current diagnosis to path+".stall".
+// The export is best-effort: the run is mid-crash, so the event buffers
+// are read as-is without waiting for quiescence.
+func WriteCrashDump(s *obs.Session, doc *Doctor, path, reason string) error {
+	if s == nil && doc == nil {
+		return nil
+	}
+	var firstErr error
+	if s != nil {
+		if err := os.WriteFile(path, []byte(s.ChromeJSON()), 0o644); err != nil {
+			firstErr = err
+		} else {
+			fmt.Fprintf(os.Stderr, "ttg: crash dump (%s): trace written to %s\n", reason, path)
+		}
+	}
+	if doc != nil {
+		if rep := doc.Diagnose(); rep != nil {
+			if err := os.WriteFile(path+".stall", []byte(rep.String()), 0o644); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "ttg: crash dump (%s): stall report written to %s.stall\n", reason, path)
+			}
+		}
+	}
+	return firstErr
+}
+
+var crashOnce sync.Once
+
+// CrashDump is WriteCrashDump to CrashDumpPath, guarded by a process-wide
+// once — several workers can panic concurrently, and only the first dump
+// is meaningful. Errors are reported to stderr; the caller is crashing
+// anyway.
+func CrashDump(s *obs.Session, doc *Doctor, reason string) {
+	crashOnce.Do(func() {
+		if err := WriteCrashDump(s, doc, CrashDumpPath(), reason); err != nil {
+			fmt.Fprintf(os.Stderr, "ttg: crash dump failed: %v\n", err)
+		}
+	})
+}
+
+// InstallSignalDump arranges for SIGQUIT to flush the crash dump and exit
+// with status 131 (128+SIGQUIT). Returns a stop function that uninstalls
+// the handler. The default Go SIGQUIT goroutine dump is replaced; use the
+// returned stop (or don't install) when stack dumps matter more.
+func InstallSignalDump(s *obs.Session, doc *Doctor) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ch:
+			CrashDump(s, doc, "SIGQUIT")
+			os.Exit(131)
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,83 @@
+package live_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+	"repro/ttg"
+)
+
+// TestCrashDumpOnWorkerPanic re-executes the test binary as a child whose
+// task body panics on a worker goroutine. The pool's panic hook must
+// flush the in-flight obs trace to TTG_CRASH_TRACE before the panic
+// propagates and kills the process; the parent asserts the child died
+// non-zero AND left a parseable Chrome trace behind.
+func TestCrashDumpOnWorkerPanic(t *testing.T) {
+	if os.Getenv("TTG_CRASH_TEST_CHILD") == "1" {
+		session := obs.NewSession(obs.Config{})
+		ttg.Run(ttg.Config{Ranks: 1, WorkersPerRank: 2, Obs: session}, func(pc *ttg.Process) {
+			g := pc.NewGraph()
+			in := ttg.NewEdge[ttg.Int1, float64]("in")
+			ttg.MakeTT1(g, "ok",
+				ttg.Input(in), nil,
+				func(x *ttg.Ctx[ttg.Int1], v float64) {
+					if x.Key()[0] == 3 {
+						panic("deliberate worker crash")
+					}
+				},
+			)
+			g.MakeExecutable()
+			for k := 0; k < 4; k++ {
+				ttg.Seed(g, in, ttg.Int1{k}, 1.0)
+			}
+			g.Fence()
+		})
+		return // unreachable: the panic above kills the process
+	}
+
+	trace := filepath.Join(t.TempDir(), "crash-trace.json")
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashDumpOnWorkerPanic$")
+	cmd.Env = append(os.Environ(),
+		"TTG_CRASH_TEST_CHILD=1",
+		live.EnvCrashTrace+"="+trace,
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("child with a panicking worker exited cleanly:\n%s", out)
+	}
+	data, rerr := os.ReadFile(trace)
+	if rerr != nil {
+		t.Fatalf("no crash trace at %s: %v\nchild output:\n%s", trace, rerr, out)
+	}
+	var recs []map[string]any
+	if jerr := json.Unmarshal(data, &recs); jerr != nil {
+		t.Fatalf("crash trace is not valid Chrome JSON: %v\n%s", jerr, data)
+	}
+}
+
+// TestWriteCrashDump checks the direct dump path: the trace lands at the
+// given path and parses, without needing a crash.
+func TestWriteCrashDump(t *testing.T) {
+	s := obs.NewSession(obs.Config{Capacity: 8})
+	s.Rank(0).Record(obs.Event{Kind: obs.EvExecEnd, Worker: 0, Name: "T", Dur: 5, TS: 10})
+	path := filepath.Join(t.TempDir(), "dump.json")
+	if err := live.WriteCrashDump(s, nil, path, "test"); err != nil {
+		t.Fatalf("WriteCrashDump: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading dump: %v", err)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("dump is not valid Chrome JSON: %v\n%s", err, data)
+	}
+	if len(recs) == 0 {
+		t.Fatal("dump has no records despite a recorded exec event")
+	}
+}

@@ -1,0 +1,198 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Sample is one instantaneous metric value pushed by a Collector.
+type Sample struct {
+	Name string
+	// Rank labels the series (rank="N"); negative means no rank label.
+	Rank  int
+	Value float64
+}
+
+// Collector is a pull source of live gauges; backend.Proc implements it
+// (pending shells, deque depths, coalescer queue bytes, outstanding
+// rendezvous regions, termination-detector activity).
+type Collector interface {
+	CollectLive(emit func(Sample))
+}
+
+// ContentType is the OpenMetrics text media type the exporter serves.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Exporter renders the session's metric registries plus collector samples
+// as OpenMetrics text. It only reads atomics (Session.LiveReport and the
+// collectors' own lock-free sources), so scraping a run in flight is safe
+// and cheap. Register it on a mux at "/metrics".
+type Exporter struct {
+	// Session, when set, contributes every per-rank registry counter,
+	// gauge, and histogram.
+	Session *obs.Session
+	// Collectors contribute instantaneous gauges not kept in a registry.
+	Collectors []Collector
+}
+
+// ServeHTTP implements http.Handler.
+func (e *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	_ = e.Export(w)
+}
+
+// metricFamily gathers one exposition family: a TYPE line plus its series.
+type metricFamily struct {
+	typ   string
+	lines []string
+}
+
+// Export renders the OpenMetrics exposition, terminated by "# EOF".
+func (e *Exporter) Export(w io.Writer) error {
+	fams := map[string]*metricFamily{}
+	fam := func(name, typ string) *metricFamily {
+		f := fams[name]
+		if f == nil {
+			f = &metricFamily{typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	if e.Session != nil {
+		lr := e.Session.LiveReport()
+		ranks := make([]int, 0, len(lr.PerRank))
+		for r := range lr.PerRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			snap := lr.PerRank[r]
+			label := fmt.Sprintf(`{rank="%d"}`, r)
+			for _, name := range sortedKeys(snap.Counters) {
+				n := sanitizeMetricName(name)
+				f := fam(n, "counter")
+				f.lines = append(f.lines, fmt.Sprintf("%s_total%s %d", n, label, snap.Counters[name]))
+			}
+			for _, name := range sortedKeys(snap.Gauges) {
+				gv := snap.Gauges[name]
+				n := sanitizeMetricName(name)
+				f := fam(n, "gauge")
+				f.lines = append(f.lines, fmt.Sprintf("%s%s %d", n, label, gv.Value))
+				fm := fam(n+"_hwm", "gauge")
+				fm.lines = append(fm.lines, fmt.Sprintf("%s_hwm%s %d", n, label, gv.Max))
+			}
+			for _, name := range sortedKeys(snap.Hists) {
+				hs := snap.Hists[name]
+				n := sanitizeMetricName(name)
+				f := fam(n, "histogram")
+				f.lines = append(f.lines, histSeries(n, r, hs)...)
+			}
+		}
+		f := fam("obs_events_dropped", "gauge")
+		f.lines = append(f.lines, fmt.Sprintf("obs_events_dropped %d", lr.Dropped))
+	}
+
+	{
+		f := fam("data_tracked_live", "gauge")
+		f.lines = append(f.lines, fmt.Sprintf("data_tracked_live %d", core.LiveTrackedHandles()))
+	}
+
+	for _, c := range e.Collectors {
+		c.CollectLive(func(s Sample) {
+			n := sanitizeMetricName(s.Name)
+			f := fam(n, "gauge")
+			if s.Rank >= 0 {
+				f.lines = append(f.lines, fmt.Sprintf(`%s{rank="%d"} %s`, n, s.Rank, formatFloat(s.Value)))
+			} else {
+				f.lines = append(f.lines, fmt.Sprintf("%s %s", n, formatFloat(s.Value)))
+			}
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, f.typ)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// histSeries renders one rank's log₂ histogram as cumulative le buckets.
+// Bucket Log2=l holds values v with bits.Len64(v)==l, i.e. v <= 2^l - 1,
+// so the exact upper bound of the cumulative count through bucket l is
+// 2^l - 1 (and 0 for the zero bucket).
+func histSeries(name string, rank int, hs obs.HistSnapshot) []string {
+	var out []string
+	var cum int64
+	for _, bk := range hs.Buckets {
+		cum += bk.Count
+		out = append(out, fmt.Sprintf(`%s_bucket{rank="%d",le="%s"} %d`,
+			name, rank, formatFloat(bucketUpper(bk.Log2)), cum))
+	}
+	out = append(out,
+		fmt.Sprintf(`%s_bucket{rank="%d",le="+Inf"} %d`, name, rank, hs.Count),
+		fmt.Sprintf(`%s_sum{rank="%d"} %d`, name, rank, hs.Sum),
+		fmt.Sprintf(`%s_count{rank="%d"} %d`, name, rank, hs.Count))
+	return out
+}
+
+func bucketUpper(log2 int) float64 {
+	if log2 <= 0 {
+		return 0
+	}
+	return math.Pow(2, float64(log2)) - 1
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps registry names ("core.pending_shells") onto the
+// OpenMetrics charset [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -55,6 +55,13 @@ const (
 	EvSteal
 	// EvFence: a fence completed on this rank (Dur = wait in ns).
 	EvFence
+	// EvFlowEmit: a remote data delivery left this rank carrying causal
+	// span context (Flow = the per-delivery flow id, Bytes = destination
+	// rank). Pairs with exactly one EvFlowRecv on the receiver.
+	EvFlowEmit
+	// EvFlowRecv: a data delivery carrying flow context was injected into
+	// this rank's graph (Flow = the sender's flow id).
+	EvFlowRecv
 )
 
 func (k EventKind) String() string {
@@ -83,6 +90,10 @@ func (k EventKind) String() string {
 		return "steal"
 	case EvFence:
 		return "fence"
+	case EvFlowEmit:
+		return "flow-emit"
+	case EvFlowRecv:
+		return "flow-recv"
 	}
 	return "unknown"
 }
@@ -92,11 +103,12 @@ func (k EventKind) String() string {
 type Event struct {
 	Kind   EventKind
 	Rank   int32
-	Worker int32 // executing worker, or -1
-	TT     int32 // template-task registration index, or -1
-	TS     int64 // ns since the session epoch (stamped by Record when 0)
-	Dur    int64 // ns; EvExecEnd / EvFence
-	Bytes  int64 // wire or payload size; message events
+	Worker int32  // executing worker, or -1
+	TT     int32  // template-task registration index, or -1
+	TS     int64  // ns since the session epoch (stamped by Record when 0)
+	Dur    int64  // ns; EvExecEnd / EvFence
+	Bytes  int64  // wire or payload size; message events
+	Flow   uint64 // cross-rank causal span id; EvFlowEmit / EvFlowRecv
 	Name   string
 	Key    string // formatted task ID; exec events
 }
@@ -161,6 +173,26 @@ const (
 	// CounterCopiesAvoided counts deliveries satisfied without a deep copy
 	// (shared read-only references, in-place takes, ownership moves).
 	CounterCopiesAvoided = "data.copies_avoided"
+	// GaugePendingShells tracks partially matched task shells held in the
+	// match table (created but not yet activated).
+	GaugePendingShells = "core.pending_shells"
+	// GaugeDequeDepth tracks the summed depth of a rank's work-stealing
+	// deques and shared queue (sampled by the live exporter).
+	GaugeDequeDepth = "sched.deque_depth"
+	// GaugeCoalesceQueuedBytes tracks bytes parked in per-peer coalescing
+	// buffers, not yet flushed to the fabric.
+	GaugeCoalesceQueuedBytes = "net.coalesce_queued_bytes"
+	// GaugeCoalesceQueuedMsgs tracks logical messages parked in per-peer
+	// coalescing buffers.
+	GaugeCoalesceQueuedMsgs = "net.coalesce_queued_msgs"
+	// GaugeRendezvousOutstanding tracks split-metadata payload regions
+	// published for RMA but not yet fetched and released.
+	GaugeRendezvousOutstanding = "net.rendezvous_outstanding"
+	// GaugeTrackedValues tracks live refcounted value handles owned by the
+	// data tracker (process-global).
+	GaugeTrackedValues = "data.tracked_live"
+	// GaugeTermdetActive is the termination detector's local activity level.
+	GaugeTermdetActive = "termdet.active"
 )
 
 // Config sizes a Session.
@@ -185,6 +217,10 @@ type Session struct {
 
 	mu    sync.Mutex
 	ranks map[int]*Rank
+
+	// reportMu serializes full Report generation (which scans the event
+	// buffers) so concurrent Report calls never race with each other.
+	reportMu sync.Mutex
 
 	global Registry
 }
@@ -259,6 +295,43 @@ func (s *Session) Registries() map[int]*Registry {
 		out[r] = &rk.reg
 	}
 	return out
+}
+
+// LiveReport is a metrics-only snapshot of a running session. Unlike
+// Report, it never touches the event buffers, so it is safe to call
+// concurrently with Record — this is what live endpoints (expvar,
+// /metrics) must serve while the run is still in flight.
+type LiveReport struct {
+	Ranks   int
+	Dropped int64
+	// Metrics is the merge of every per-rank registry plus the global one.
+	Metrics RegistrySnapshot
+	// PerRank holds each rank's own registry snapshot.
+	PerRank map[int]RegistrySnapshot
+}
+
+// LiveReport captures the session's metrics without scanning event
+// buffers. Safe for concurrent use with Record and with Report.
+func (s *Session) LiveReport() *LiveReport {
+	s.mu.Lock()
+	ranks := make(map[int]*Rank, len(s.ranks))
+	for r, rk := range s.ranks {
+		ranks[r] = rk
+	}
+	s.mu.Unlock()
+	lr := &LiveReport{
+		Ranks:   len(ranks),
+		PerRank: make(map[int]RegistrySnapshot, len(ranks)),
+	}
+	merged := s.global.Snapshot()
+	for r, rk := range ranks {
+		lr.Dropped += rk.dropped.Load()
+		snap := rk.reg.Snapshot()
+		lr.PerRank[r] = snap
+		merged = merged.Merge(snap)
+	}
+	lr.Metrics = merged
+	return lr
 }
 
 // Rank is one rank's lock-free event recorder. The zero value is not

@@ -10,8 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 )
 
 // Flags holds the observability command-line options after Register.
@@ -22,10 +24,17 @@ type Flags struct {
 	Stats bool
 	// Capacity overrides the per-rank event-buffer length (0 = default).
 	Capacity int
+	// DoctorOn requests the live graph doctor (stall watchdog).
+	DoctorOn bool
+	// DoctorQuiet is the stall quiet period.
+	DoctorQuiet time.Duration
 
-	trace *string
-	stats *bool
-	cap   *int
+	trace  *string
+	stats  *bool
+	cap    *int
+	doctor *bool
+	quiet  *time.Duration
+	doc    *live.Doctor
 }
 
 // Register installs -trace, -stats, and -obs-cap on fs (the default
@@ -38,7 +47,51 @@ func Register(fs *flag.FlagSet) *Flags {
 	f.trace = fs.String("trace", "", "write a Chrome-trace JSON (chrome://tracing, Perfetto) of the run to this path")
 	f.stats = fs.Bool("stats", false, "print the observability report: per-template profiles, histograms, critical path")
 	f.cap = fs.Int("obs-cap", 0, "per-rank event-buffer capacity (0 = default)")
+	f.doctor = fs.Bool("doctor", false, "run the live graph doctor: watch the match tables for stalls and print a blame report to stderr")
+	f.quiet = fs.Duration("doctor-quiet", 2*time.Second, "doctor: how long the graph must sit idle with pending tasks before a stall report fires")
 	return f
+}
+
+// Doctor resolves the parsed doctor flags: when -doctor was given it
+// builds and starts a stall watchdog over targets whose reports print to
+// stderr, returning it (callers Stop it after the run); otherwise nil.
+func (f *Flags) Doctor(targets []live.Target) *live.Doctor {
+	f.DoctorOn, f.DoctorQuiet = *f.doctor, *f.quiet
+	if !f.DoctorOn {
+		return nil
+	}
+	d := live.NewDoctor(live.Config{
+		Quiet:   f.DoctorQuiet,
+		OnStall: func(rep *live.StallReport) { fmt.Fprint(os.Stderr, rep.String()) },
+	}, targets...)
+	d.Start()
+	return d
+}
+
+// Hook returns the pre-run hook for ttg.RunLive: it attaches the doctor
+// to the runtime's rank targets when -doctor was given. Pair with
+// FinishDoctor after the run.
+func (f *Flags) Hook() func(targets []live.Target, collectors []live.Collector) {
+	return func(targets []live.Target, _ []live.Collector) { f.doc = f.Doctor(targets) }
+}
+
+// FinishDoctor stops the watchdog started by Hook and re-probes the
+// graph: a wedged TTG quiesces (pending shells hold no activation, so
+// the fence returns), and this post-run diagnosis is what catches it.
+// Returns an error when the graph stalled; no-op when -doctor was off.
+func (f *Flags) FinishDoctor() error {
+	if f.doc == nil {
+		return nil
+	}
+	f.doc.Stop()
+	if rep := f.doc.Diagnose(); rep != nil {
+		fmt.Fprint(os.Stderr, rep.String())
+		return fmt.Errorf("obscli: graph quiesced with %d pending task shell(s)", rep.Pending)
+	}
+	if n := f.doc.Reports(); n != 0 {
+		return fmt.Errorf("obscli: %d stall report(s) fired during the run", n)
+	}
+	return nil
 }
 
 // Session resolves the parsed flags into an observation session, or nil when

@@ -72,6 +72,11 @@ type Pool struct {
 	// tr, when set, feeds the backend's stats counters (the CLI "stolen="
 	// figure) without requiring a full observability session.
 	tr *trace.Collector
+
+	// onPanic, when set, runs with a panic recovered from the run callback
+	// before the panic is re-raised; backends hook crash-dump flushing
+	// (export the in-flight obs trace) here. The hook must not panic.
+	onPanic func(worker int, recovered any)
 }
 
 // NewPool builds a pool of n workers with the given policy. Call Start to
@@ -122,6 +127,28 @@ func (p *Pool) Trace(tr *trace.Collector) { p.tr = tr }
 // the last worker to go idle, outside the pool lock, at most once per
 // quiescent period; new submissions re-arm it. Call before Start.
 func (p *Pool) OnIdle(f func()) { p.idle = f }
+
+// OnPanic registers f to run when a task body panics on a worker: f
+// receives the worker index and the recovered value, and after it returns
+// the panic is re-raised (the process still crashes — f's job is to flush
+// diagnostics, e.g. the in-flight obs trace, before it does). When no
+// hook is set, panics propagate untouched. Call before Start.
+func (p *Pool) OnPanic(f func(worker int, recovered any)) { p.onPanic = f }
+
+// Depths reports the current queue depths: one entry per worker deque
+// under PolicySteal followed by the shared queue's depth; single-queue
+// policies report just the shared depth. Safe to call from any goroutine;
+// values are instantaneous and may be stale by the time they are read.
+func (p *Pool) Depths() []int {
+	if p.policy != PolicySteal {
+		return []int{p.shared.Len()}
+	}
+	out := make([]int, 0, len(p.deques)+1)
+	for _, d := range p.deques {
+		out = append(out, d.Len())
+	}
+	return append(out, p.shared.Len())
+}
 
 // Start launches the worker goroutines. It is idempotent.
 func (p *Pool) Start() {
@@ -267,8 +294,26 @@ func (p *Pool) worker(id int) {
 		if p.depth != nil {
 			p.depth.Add(-1)
 		}
-		p.run(id, it)
+		p.runItem(id, it)
 	}
+}
+
+// runItem invokes the run callback, interposing the crash handler when
+// one is registered: a panicking task body first flushes diagnostics via
+// the hook, then the panic resumes and crashes the process as before.
+// With no hook the callback is called directly (zero extra cost).
+func (p *Pool) runItem(id int, it Item) {
+	if p.onPanic == nil {
+		p.run(id, it)
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.onPanic(id, r)
+			panic(r)
+		}
+	}()
+	p.run(id, it)
 }
 
 func (p *Pool) next(id int, rng *rand.Rand) (Item, bool) {

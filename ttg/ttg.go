@@ -31,6 +31,7 @@ import (
 	"repro/internal/backend/parsec"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/sched"
 	"repro/internal/serde"
 	"repro/internal/simnet"
@@ -142,6 +143,15 @@ func (pc *Process) Stats() trace.Snapshot { return pc.p.Tracer().Snapshot() }
 // configured with an obs.Session).
 func (pc *Process) Obs() obs.Recorder { return pc.p.Obs() }
 
+// LiveTarget exposes this rank to the graph doctor (internal/obs/live):
+// its bound graph, forward-progress counters, and termination-detector
+// activity.
+func (pc *Process) LiveTarget() live.Target { return pc.p.LiveTarget() }
+
+// CollectLive implements live.Collector, emitting this rank's
+// instantaneous progress gauges for the OpenMetrics endpoint.
+func (pc *Process) CollectLive(emit func(live.Sample)) { pc.p.CollectLive(emit) }
+
 // NewGraph creates an empty graph bound to this process.
 func (pc *Process) NewGraph() *Graph {
 	return NewGraphOn(pc.p)
@@ -192,6 +202,14 @@ func (g *Graph) Fence() { g.core.Fence() }
 // the cluster down. Each main must build identical graphs (the SPMD
 // convention), call MakeExecutable, inject any seeds, and Fence.
 func Run(cfg Config, main func(pc *Process)) {
+	RunLive(cfg, nil, main)
+}
+
+// RunLive is Run with a live-introspection hook: before any rank main
+// starts, hook receives one graph-doctor target and one metrics collector
+// per rank, so callers can attach a live.Doctor or serve a live.Exporter
+// while the run is in flight. The run begins when hook returns.
+func RunLive(cfg Config, hook func(targets []live.Target, collectors []live.Collector), main func(pc *Process)) {
 	if cfg.Ranks <= 0 {
 		cfg.Ranks = 1
 	}
@@ -217,6 +235,9 @@ func Run(cfg Config, main func(pc *Process)) {
 			Net:            cfg.Net,
 			Obs:            cfg.Obs,
 		})
+	}
+	if hook != nil {
+		hook(rt.LiveTargets(), rt.LiveCollectors())
 	}
 	rt.Run(func(p *backend.Proc) { main(&Process{p: p}) })
 }
