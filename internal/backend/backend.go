@@ -673,6 +673,18 @@ func (p *Proc) LiveTarget() live.Target {
 			}
 		},
 		Active: p.det.Active,
+		Sched: func() live.SchedStats {
+			s := p.pool.Stats()
+			return live.SchedStats{
+				Workers:       s.Workers,
+				Parked:        s.Parked,
+				StealAttempts: s.StealAttempts,
+				StealHits:     s.StealHits,
+				InlineRuns:    s.InlineRuns,
+				Parks:         s.Parks,
+				Wakes:         s.Wakes,
+			}
+		},
 	}
 }
 
@@ -688,6 +700,8 @@ func (p *Proc) CollectLive(emit func(live.Sample)) {
 		depth += d
 	}
 	emit(live.Sample{Name: obs.GaugeDequeDepth, Rank: p.rank, Value: float64(depth)})
+	emit(live.Sample{Name: obs.GaugeParkedWorkers, Rank: p.rank,
+		Value: float64(p.pool.Stats().Parked)})
 	if p.coal != nil {
 		emit(live.Sample{Name: obs.GaugeCoalesceQueuedBytes, Rank: p.rank,
 			Value: float64(p.coal.queuedBytes.Load())})

@@ -147,7 +147,7 @@ func TestChainWithNetworkLatency(t *testing.T) {
 }
 
 func TestAllSchedulerPolicies(t *testing.T) {
-	for _, pol := range []sched.Policy{sched.PolicyFIFO, sched.PolicyLIFO, sched.PolicyPriority, sched.PolicySteal} {
+	for _, pol := range []sched.Policy{sched.PolicyFIFO, sched.PolicyLIFO, sched.PolicyPriority, sched.PolicySteal, sched.PolicyStealPrio} {
 		t.Run(pol.String(), func(t *testing.T) {
 			rt := parsec.New(2, parsec.Config{WorkersPerRank: 2, Policy: pol, HasPolicy: true})
 			results := runChain(t, rt, 12, 4)

@@ -19,7 +19,9 @@ import (
 type Config struct {
 	// WorkersPerRank sizes each rank's pool (default: NumCPU/ranks).
 	WorkersPerRank int
-	// Policy overrides the scheduler module; default PolicyPriority.
+	// Policy overrides the scheduler module; default PolicyStealPrio
+	// (banded work stealing that honors priority maps; PolicyPriority
+	// remains the exact-order fallback).
 	Policy sched.Policy
 	// HasPolicy marks Policy as explicitly set (so PolicyFIFO is usable).
 	HasPolicy bool
@@ -41,7 +43,7 @@ type Config struct {
 
 // New builds a PaRSEC-model runtime over ranks virtual processes.
 func New(ranks int, cfg Config) *backend.Runtime {
-	pol := sched.PolicyPriority
+	pol := sched.PolicyStealPrio
 	if cfg.HasPolicy {
 		pol = cfg.Policy
 	}

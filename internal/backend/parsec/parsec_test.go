@@ -13,8 +13,8 @@ func TestDefaultsAndOverrides(t *testing.T) {
 	if opts.Name != "parsec" || !opts.TracksData || !opts.SplitMD || !opts.TreeBroadcast {
 		t.Fatalf("parsec preset wrong: %+v", opts)
 	}
-	if opts.Policy != sched.PolicyPriority {
-		t.Fatalf("default policy = %v, want priority", opts.Policy)
+	if opts.Policy != sched.PolicyStealPrio {
+		t.Fatalf("default policy = %v, want stealprio", opts.Policy)
 	}
 	if opts.EagerThreshold <= 0 {
 		t.Fatalf("eager threshold unset")

@@ -280,12 +280,27 @@ func (p *Proc) Submit(t *core.Task) {
 	p.enqueue(t)
 }
 
-// SubmitBatch implements core.Executor. The simulator keeps per-task
-// submission (each enqueue is an instantaneous virtual-time event and may
-// be captured in an effect buffer), so the batch degenerates to a loop.
+// SubmitBatch implements core.Executor. Each enqueue stays an
+// instantaneous virtual-time event, but the batch pays for the effect
+// buffer or the seeding lock once instead of per task (seeding a large
+// graph used to take and release the runtime lock for every root task).
 func (p *Proc) SubmitBatch(ts []*core.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	if buf := p.rt.effectBuf; buf != nil {
+		batch := append([]*core.Task(nil), ts...)
+		*buf = append(*buf, func() {
+			for _, t := range batch {
+				p.enqueue(t)
+			}
+		})
+		return
+	}
+	unlock := p.rt.lock()
+	defer unlock()
 	for _, t := range ts {
-		p.Submit(t)
+		p.enqueue(t)
 	}
 }
 

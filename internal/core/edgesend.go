@@ -212,7 +212,10 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 		g.submitOne(first, worker)
 		return
 	}
-	all := make([]*Task, 0, 1+len(extra))
-	all = append(append(all, first), extra...)
-	g.submitReady(all, worker)
+	// Merge by appending first to extra: extra already grew past its first
+	// append, so this almost never reallocates, where building a fresh
+	// merged slice always did. Position in the batch is not semantic — the
+	// scheduler's run-next slot claims the highest-priority member and the
+	// queues order by policy, not batch index.
+	g.submitReady(append(extra, first), worker)
 }

@@ -321,9 +321,9 @@ func (g *Graph) submitCollected(first *Task, extra []*Task) {
 		g.submitOne(first, -1)
 		return
 	}
-	all := make([]*Task, 0, 1+len(extra))
-	all = append(append(all, first), extra...)
-	g.submitReady(all, -1)
+	// As in routeEdges: append into extra's spare capacity instead of
+	// building a fresh merged slice; batch position carries no ordering.
+	g.submitReady(append(extra, first), -1)
 }
 
 // deliverLocal lands a value on one terminal instance and returns the task

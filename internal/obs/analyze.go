@@ -283,6 +283,21 @@ func (r *Report) String() string {
 		r.Msgs.Sends, r.Msgs.Bcasts, r.Msgs.Forwards)
 	fmt.Fprintf(&b, "matches=%d folds=%d steals=%d fences=%d\n",
 		r.Matches, r.Folds, r.Steals, r.Fences)
+	attempts := r.Metrics.Counters[CounterStealAttempts]
+	inlined := r.Metrics.Counters[CounterInlined]
+	parks := r.Metrics.Counters[CounterParks]
+	wakes := r.Metrics.Counters[CounterWakes]
+	if attempts+inlined+parks+wakes > 0 {
+		hit := "-"
+		if attempts > 0 {
+			hit = fmt.Sprintf("%.0f%%", 100*float64(r.Steals)/float64(attempts))
+		}
+		fmt.Fprintf(&b, "sched: steal-hit=%s (%d/%d) inlined=%d parks=%d wakes=%d\n",
+			hit, r.Steals, attempts, inlined, parks, wakes)
+		if hs, ok := r.Metrics.Hists[HistInlineChain]; ok && hs.Count > 0 {
+			fmt.Fprintf(&b, "inline chain: %s\n", hs)
+		}
+	}
 	copies := r.Metrics.Counters[CounterDataCopies]
 	avoided := r.Metrics.Counters[CounterCopiesAvoided]
 	if copies+avoided > 0 {

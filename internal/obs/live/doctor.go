@@ -29,6 +29,30 @@ type Progress struct {
 	MsgsReceived int64
 }
 
+// SchedStats is one rank's scheduler fingerprint for stall reports: a
+// wedged run shows all workers parked with a cold steal rate, a livelocked
+// one shows spinning steal attempts with no hits.
+type SchedStats struct {
+	Workers       int
+	Parked        int
+	StealAttempts int64
+	StealHits     int64
+	InlineRuns    int64
+	Parks         int64
+	Wakes         int64
+}
+
+// String renders the fingerprint in the shape stall reports embed.
+func (s SchedStats) String() string {
+	hit := "-"
+	if s.StealAttempts > 0 {
+		hit = fmt.Sprintf("%.0f%%", 100*float64(s.StealHits)/float64(s.StealAttempts))
+	}
+	return fmt.Sprintf("parked=%d/%d steal-hit=%s (%d/%d) inlined=%d parks=%d wakes=%d",
+		s.Parked, s.Workers, hit, s.StealHits, s.StealAttempts,
+		s.InlineRuns, s.Parks, s.Wakes)
+}
+
 // Target is one rank's introspection surface. Backends construct these
 // (backend.Proc.LiveTarget, sim.Proc.LiveTarget); tests can hand-build
 // them.
@@ -45,6 +69,10 @@ type Target struct {
 	// this is what keeps slow-but-healthy runs from being misreported.
 	// Nil (the sim backend) is treated as always zero.
 	Active func() int64
+	// Sched optionally returns the rank's worker-pool fingerprint
+	// (parked-worker count, steal hit rate, inline/park/wake counters);
+	// nil for backends without a pool (the sim dispatches in virtual time).
+	Sched func() SchedStats
 }
 
 // Config tunes the doctor's stall detection.
@@ -223,9 +251,12 @@ func (d *Doctor) Diagnose() *StallReport {
 		rep.Active += act
 		rep.Pending += total
 		if total > 0 {
-			rep.Ranks = append(rep.Ranks, RankPending{
-				Rank: t.Rank, Active: act, Total: total, Sampled: sampled,
-			})
+			rp := RankPending{Rank: t.Rank, Active: act, Total: total, Sampled: sampled}
+			if t.Sched != nil {
+				s := t.Sched()
+				rp.Sched = &s
+			}
+			rep.Ranks = append(rep.Ranks, rp)
 		}
 	}
 	if rep.Pending == 0 {
@@ -242,6 +273,7 @@ type RankPending struct {
 	Active  int64
 	Total   int64 // all pending shells on this rank
 	Sampled []core.PendingTask
+	Sched   *SchedStats // scheduler fingerprint, nil without a pool
 }
 
 // BlameEdge aggregates the stalled shells missing the same input: "Count
@@ -308,7 +340,11 @@ func (r *StallReport) String() string {
 	fmt.Fprintf(&b, "GRAPH STALL: %d pending task shell(s), no progress for %s (active=%d)\n",
 		r.Pending, r.QuietFor.Round(time.Millisecond), r.Active)
 	for _, rp := range r.Ranks {
-		fmt.Fprintf(&b, "  rank %d: pending=%d active=%d\n", rp.Rank, rp.Total, rp.Active)
+		fmt.Fprintf(&b, "  rank %d: pending=%d active=%d", rp.Rank, rp.Total, rp.Active)
+		if rp.Sched != nil {
+			fmt.Fprintf(&b, " sched[%s]", rp.Sched)
+		}
+		b.WriteString("\n")
 		for _, pt := range rp.Sampled {
 			for _, mi := range pt.Missing {
 				fmt.Fprintf(&b, "    %s%s: missing input %d", pt.TT, pt.Key, mi.Term)

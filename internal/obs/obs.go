@@ -146,6 +146,22 @@ const (
 	HistBcastFanout = "bcast.fanout"
 	// CounterSteals counts successful deque steals.
 	CounterSteals = "sched.steals"
+	// CounterStealAttempts counts steal sweeps started by out-of-work
+	// workers (hit rate = sched.steals / sched.steal_attempts).
+	CounterStealAttempts = "sched.steal_attempts"
+	// CounterInlined counts tasks executed through a worker's run-next
+	// slot, bypassing the queues entirely.
+	CounterInlined = "sched.inlined"
+	// HistInlineChain is the length of completed run-next chains (how many
+	// successors a worker executed back to back without a queue trip).
+	HistInlineChain = "sched.inline_chain"
+	// CounterParks counts workers blocking in the park protocol.
+	CounterParks = "sched.parks"
+	// CounterWakes counts wake permits granted to parked workers.
+	CounterWakes = "sched.wakes"
+	// GaugeParkedWorkers tracks workers currently announced idle (sampled
+	// by the live exporter).
+	GaugeParkedWorkers = "sched.parked_workers"
 	// CounterFolds counts streaming-reducer folds.
 	CounterFolds = "core.reduce_folds"
 	// CounterBcastTrees counts planned tree broadcasts.

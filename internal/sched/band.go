@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// numBands is the number of pow2 priority classes used by PolicyStealPrio.
+// Priorities are bucketed by bit length, so each band covers a doubling of
+// the priority range: band 0 holds non-positive priorities, band 1 holds
+// priority 1, band 2 holds 2..3, band 3 holds 4..7, ... and the top band
+// absorbs everything at or above 1<<(numBands-2). Eight bands keep the
+// per-worker deque set small (one cache line of pointers) while still
+// separating a critical-path priority map's "deep iteration" tasks from
+// the bulk updates behind them.
+const numBands = 8
+
+// bandOf maps a priority to its pow2 class. Larger priorities land in
+// larger bands; dequeue order is highest band first.
+func bandOf(p int64) int {
+	if p <= 0 {
+		return 0
+	}
+	if b := bits.Len64(uint64(p)); b < numBands {
+		return b
+	}
+	return numBands - 1
+}
+
+// Banded is a mutex-protected queue of per-band FIFO lists, popped highest
+// band first. It is the shared overflow queue under PolicyStealPrio (the
+// Chase-Lev deques are owner-push only, so submissions from outside the
+// pool need a shared landing spot): priority order is preserved up to the
+// pow2 band mapping, FIFO within a band, at ring-buffer cost instead of
+// the exact heap's O(log n) sift per operation. An atomic size lets idle
+// workers poll emptiness without touching the lock.
+type Banded struct {
+	mu   sync.Mutex
+	n    atomic.Int64
+	occ  uint32 // bitmask of non-empty bands
+	band [numBands]bandFIFO
+}
+
+type bandFIFO struct {
+	items []Item
+	head  int
+}
+
+// NewBanded returns an empty banded queue.
+func NewBanded() *Banded { return &Banded{} }
+
+func (q *Banded) Push(it Item) {
+	b := bandOf(it.Priority)
+	q.mu.Lock()
+	q.band[b].items = append(q.band[b].items, it)
+	q.occ |= 1 << b
+	q.n.Add(1)
+	q.mu.Unlock()
+}
+
+// PushBatch enqueues a run of items under one lock acquisition.
+func (q *Banded) PushBatch(its []Item) {
+	if len(its) == 0 {
+		return
+	}
+	q.mu.Lock()
+	for _, it := range its {
+		b := bandOf(it.Priority)
+		q.band[b].items = append(q.band[b].items, it)
+		q.occ |= 1 << b
+	}
+	q.n.Add(int64(len(its)))
+	q.mu.Unlock()
+}
+
+// Pop removes the oldest item of the highest non-empty band.
+func (q *Banded) Pop() (Item, bool) {
+	if q.n.Load() == 0 {
+		return Item{}, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.occ == 0 {
+		return Item{}, false
+	}
+	b := 31 - bits.LeadingZeros32(q.occ)
+	f := &q.band[b]
+	it := f.items[f.head]
+	f.items[f.head] = Item{}
+	f.head++
+	q.n.Add(-1)
+	if f.head >= len(f.items) {
+		// Band drained: reset, dropping a grown backing array so a burst
+		// does not pin memory for the rest of the run.
+		if cap(f.items) > 1024 {
+			f.items = nil
+		} else {
+			f.items = f.items[:0]
+		}
+		f.head = 0
+		q.occ &^= 1 << b
+	} else if f.head > 64 && f.head*2 >= len(f.items) {
+		f.items = append(f.items[:0], f.items[f.head:]...)
+		f.head = 0
+	}
+	return it, true
+}
+
+func (q *Banded) Len() int { return int(q.n.Load()) }

@@ -2,7 +2,9 @@ package sched
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -17,11 +19,20 @@ const (
 	PolicyFIFO Policy = iota
 	// PolicyLIFO runs the most recently submitted task first.
 	PolicyLIFO
-	// PolicyPriority honors task priorities (priority-map support).
+	// PolicyPriority honors task priorities exactly via one shared heap
+	// (priority-map support; every push/pop contends on the heap lock).
 	PolicyPriority
 	// PolicySteal gives each worker a deque; idle workers steal. Local
-	// submissions stay with the submitting worker for locality.
+	// submissions stay with the submitting worker for locality. Item
+	// priorities are ignored.
 	PolicySteal
+	// PolicyStealPrio combines the two: each worker owns a small fixed
+	// set of per-priority-band Chase-Lev deques (pow2 priority classes,
+	// highest band popped and stolen first), so priority-map ordering
+	// survives without a shared heap. Ordering is approximate — exact up
+	// to the band mapping locally, best-effort across workers — with
+	// PolicyPriority kept as the exact-order fallback.
+	PolicyStealPrio
 )
 
 func (p Policy) String() string {
@@ -34,19 +45,73 @@ func (p Policy) String() string {
 		return "priority"
 	case PolicySteal:
 		return "steal"
+	case PolicyStealPrio:
+		return "stealprio"
 	}
 	return "unknown"
+}
+
+// maxInlineChain bounds how many successors a worker may execute back to
+// back through its run-next slot without returning to the queues. The
+// bound keeps one long dependency chain from monopolizing a worker while
+// queued (possibly higher-priority) work sits in its deques; chained tasks
+// still Activate/Deactivate through termination detection individually,
+// and a worker with a filled slot counts as busy, so the bound is a
+// fairness knob, not a correctness requirement.
+const maxInlineChain = 64
+
+// parkSpinRounds is how many times an out-of-work worker re-sweeps every
+// queue (yielding between sweeps) before it announces intent to sleep.
+const parkSpinRounds = 4
+
+// workerState is the per-worker scheduling state, cache-line padded so one
+// worker's slot and counters never false-share with a neighbor's.
+//
+// The run-next slot (it/ok/chain) is owner-only: it is filled by
+// SubmitLocal*, which the runtime only invokes synchronously from the run
+// callback of that same worker, and drained by the worker's execute loop.
+// No atomics guard it — the race detector enforces the contract.
+type workerState struct {
+	it    Item
+	ok    bool
+	chain int // inline-chain depth of the currently running task
+
+	// Owner-written stat counters (atomic only so Stats can read them
+	// from other goroutines; writes are uncontended).
+	stealAttempts atomic.Int64
+	stealHits     atomic.Int64
+	inlineRuns    atomic.Int64
+	parks         atomic.Int64
+
+	_ [24]byte // pad to a multiple of 64 bytes
+}
+
+// Stats is a point-in-time snapshot of scheduler-internal counters. They
+// are maintained unconditionally (cheap uncontended atomics) so stall
+// diagnostics work without a full observability session.
+type Stats struct {
+	StealAttempts int64 // steal sweeps started by out-of-work workers
+	StealHits     int64 // sweeps that found an item
+	InlineRuns    int64 // tasks executed via the run-next slot
+	Parks         int64 // times a worker blocked in cond.Wait
+	Wakes         int64 // wake permits granted to parked workers
+	Parked        int   // workers currently announced idle
+	Workers       int
 }
 
 // Pool is a fixed-size worker pool executing Items via a run callback. The
 // callback receives the executing worker's index so that tasks spawned
 // during execution can be resubmitted locally (SubmitLocal) for locality
-// under PolicySteal.
+// under the stealing policies.
 type Pool struct {
-	policy  Policy
-	run     func(worker int, it Item)
-	shared  Queue    // used by FIFO/LIFO/Priority policies and as overflow for Steal
-	deques  []*Deque // per-worker, PolicySteal only
+	policy Policy
+	run    func(worker int, it Item)
+	shared Queue      // FIFO/LIFO/Priority policies; overflow for the stealing ones
+	deques []*Deque   // per-worker, PolicySteal only
+	prio   [][]*Deque // per-worker per-band, PolicyStealPrio only
+	ws     []workerState
+	inline bool // run-next slot enabled (stealing policies by default)
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	done    bool
@@ -54,20 +119,36 @@ type Pool struct {
 	started bool
 	n       int
 
-	// Idle notification: busy counts workers not blocked in cond.Wait;
-	// when it reaches zero with no queued work, idle (if set) runs once
-	// per busy→quiescent transition. Backends hook their communication
-	// aggregators here so buffered messages flush at scheduler quiescence.
+	// Park/wake protocol: idlers counts workers that have announced
+	// intent to sleep (between the announce and leaving the park loop);
+	// submissions fast-path out without touching the lock while it is
+	// zero. permits (guarded by mu) are wake credits — a parked worker
+	// consumes one instead of waiting, so a Signal that fires before the
+	// worker reaches cond.Wait is never lost.
+	idlers  atomic.Int32
+	permits int
+	wakes   atomic.Int64
+
+	// Idle notification: busy counts workers not blocked in the park
+	// loop; when it reaches zero with no queued work, idle (if set) runs
+	// once per busy→quiescent transition. Backends hook their
+	// communication aggregators here so buffered messages flush at
+	// scheduler quiescence.
 	busy      int
 	idle      func()
 	idleFired bool
 
 	// Observability (nil when disabled): queue-depth gauge moves on every
-	// submit/pop, steal events and the steal counter fire on successful
-	// deque steals.
-	obs    obs.Recorder
-	depth  *obs.Gauge
-	steals *obs.Counter
+	// submit/pop; the steal/park/inline counters mirror the always-on
+	// Stats atomics into the metrics registry.
+	obs       obs.Recorder
+	depth     *obs.Gauge
+	steals    *obs.Counter
+	stealAtt  *obs.Counter
+	inlined   *obs.Counter
+	chainHist *obs.Histogram
+	parksC    *obs.Counter
+	wakesC    *obs.Counter
 
 	// tr, when set, feeds the backend's stats counters (the CLI "stolen="
 	// figure) without requiring a full observability session.
@@ -87,6 +168,7 @@ func NewPool(n int, policy Policy, run func(worker int, it Item)) *Pool {
 	}
 	p := &Pool{policy: policy, run: run, n: n}
 	p.cond = sync.NewCond(&p.mu)
+	p.ws = make([]workerState, n)
 	switch policy {
 	case PolicyFIFO:
 		p.shared = NewFIFO()
@@ -100,6 +182,18 @@ func NewPool(n int, policy Policy, run func(worker int, it Item)) *Pool {
 		for i := range p.deques {
 			p.deques[i] = NewDeque()
 		}
+		p.inline = true
+	case PolicyStealPrio:
+		p.shared = NewBanded()
+		p.prio = make([][]*Deque, n)
+		for i := range p.prio {
+			bands := make([]*Deque, numBands)
+			for b := range bands {
+				bands[b] = NewDeque()
+			}
+			p.prio[i] = bands
+		}
+		p.inline = true
 	}
 	return p
 }
@@ -107,15 +201,27 @@ func NewPool(n int, policy Policy, run func(worker int, it Item)) *Pool {
 // Workers returns the number of worker goroutines.
 func (p *Pool) Workers() int { return p.n }
 
+// DisableRunNext turns off the successor-inlining slot (stealing policies
+// enable it by default). Call before Start; used by the inlining ablation
+// bench and for strict queue-order debugging.
+func (p *Pool) DisableRunNext() { p.inline = false }
+
 // Observe attaches a recorder; call before Start. The pool then maintains
-// the scheduler queue-depth gauge and records steal events.
+// the scheduler queue-depth gauge and mirrors the steal, inline, and
+// park/wake counters into the metrics registry.
 func (p *Pool) Observe(rec obs.Recorder) {
 	if rec == nil {
 		return
 	}
 	p.obs = rec
-	p.depth = rec.Metrics().Gauge(obs.GaugeQueueDepth)
-	p.steals = rec.Metrics().Counter(obs.CounterSteals)
+	m := rec.Metrics()
+	p.depth = m.Gauge(obs.GaugeQueueDepth)
+	p.steals = m.Counter(obs.CounterSteals)
+	p.stealAtt = m.Counter(obs.CounterStealAttempts)
+	p.inlined = m.Counter(obs.CounterInlined)
+	p.chainHist = m.Histogram(obs.HistInlineChain)
+	p.parksC = m.Counter(obs.CounterParks)
+	p.wakesC = m.Counter(obs.CounterWakes)
 }
 
 // Trace attaches a stats collector; call before Start. Successful steals
@@ -135,19 +241,47 @@ func (p *Pool) OnIdle(f func()) { p.idle = f }
 // hook is set, panics propagate untouched. Call before Start.
 func (p *Pool) OnPanic(f func(worker int, recovered any)) { p.onPanic = f }
 
-// Depths reports the current queue depths: one entry per worker deque
-// under PolicySteal followed by the shared queue's depth; single-queue
-// policies report just the shared depth. Safe to call from any goroutine;
+// Stats snapshots the scheduler-internal counters. Safe from any
+// goroutine; values are instantaneous.
+func (p *Pool) Stats() Stats {
+	s := Stats{Parked: int(p.idlers.Load()), Wakes: p.wakes.Load(), Workers: p.n}
+	for i := range p.ws {
+		w := &p.ws[i]
+		s.StealAttempts += w.stealAttempts.Load()
+		s.StealHits += w.stealHits.Load()
+		s.InlineRuns += w.inlineRuns.Load()
+		s.Parks += w.parks.Load()
+	}
+	return s
+}
+
+// Depths reports the current queue depths: one entry per worker (summed
+// across bands under PolicyStealPrio) followed by the shared queue's
+// depth; single-queue policies report just the shared depth. An item held
+// in a run-next slot is not counted — its worker is mid-execution, so it
+// is in-flight rather than queued. Safe to call from any goroutine;
 // values are instantaneous and may be stale by the time they are read.
 func (p *Pool) Depths() []int {
-	if p.policy != PolicySteal {
+	switch p.policy {
+	case PolicySteal:
+		out := make([]int, 0, len(p.deques)+1)
+		for _, d := range p.deques {
+			out = append(out, d.Len())
+		}
+		return append(out, p.shared.Len())
+	case PolicyStealPrio:
+		out := make([]int, 0, len(p.prio)+1)
+		for _, bands := range p.prio {
+			n := 0
+			for _, d := range bands {
+				n += d.Len()
+			}
+			out = append(out, n)
+		}
+		return append(out, p.shared.Len())
+	default:
 		return []int{p.shared.Len()}
 	}
-	out := make([]int, 0, len(p.deques)+1)
-	for _, d := range p.deques {
-		out = append(out, d.Len())
-	}
-	return append(out, p.shared.Len())
 }
 
 // Start launches the worker goroutines. It is idempotent.
@@ -190,23 +324,37 @@ func (p *Pool) SubmitBatch(its []Item) {
 }
 
 // SubmitLocal enqueues work from within the run callback of the given
-// worker; under PolicySteal it lands on that worker's own deque.
+// worker. Under the stealing policies it lands on that worker's own deque
+// (the priority band's deque under PolicyStealPrio) — or, when the
+// worker's run-next slot is free and its inline chain is short enough,
+// directly in the slot: the worker executes it next, no queue round-trip,
+// no wakeup, the just-produced data still cache-hot. A lower-priority
+// incumbent is displaced to the queues so the slot always holds the
+// highest-priority successor seen this round.
 func (p *Pool) SubmitLocal(worker int, it Item) {
 	if p.depth != nil {
 		p.depth.Add(1)
 	}
-	if p.policy == PolicySteal && worker >= 0 && worker < len(p.deques) {
-		p.deques[worker].PushBottom(it)
-	} else {
-		p.shared.Push(it)
+	if p.inline && worker >= 0 && worker < p.n {
+		w := &p.ws[worker]
+		if w.chain < maxInlineChain {
+			if !w.ok {
+				w.ok, w.it = true, it
+				return // only this worker can run it: nobody to wake
+			}
+			if it.Priority > w.it.Priority {
+				it, w.it = w.it, it
+			}
+		}
 	}
+	p.pushLocal(worker, it)
 	p.wake()
 }
 
 // SubmitLocalBatch enqueues a run of items discovered by one worker (a
-// task fan-out) with a single queue synchronization: under PolicySteal the
-// whole batch lands on that worker's deque in one push, otherwise it goes
-// to the shared queue in one lock acquisition.
+// task fan-out) with a single queue synchronization; the highest-priority
+// item may be claimed by the worker's run-next slot as in SubmitLocal.
+// The pool may reorder its in place.
 func (p *Pool) SubmitLocalBatch(worker int, its []Item) {
 	if len(its) == 0 {
 		return
@@ -214,12 +362,55 @@ func (p *Pool) SubmitLocalBatch(worker int, its []Item) {
 	if p.depth != nil {
 		p.depth.Add(int64(len(its)))
 	}
-	if p.policy == PolicySteal && worker >= 0 && worker < len(p.deques) {
+	if p.inline && worker >= 0 && worker < p.n {
+		w := &p.ws[worker]
+		if !w.ok && w.chain < maxInlineChain {
+			best := 0
+			for i := 1; i < len(its); i++ {
+				if its[i].Priority > its[best].Priority {
+					best = i
+				}
+			}
+			w.ok, w.it = true, its[best]
+			its[best] = its[len(its)-1]
+			its = its[:len(its)-1]
+			if len(its) == 0 {
+				return
+			}
+		}
+	}
+	switch {
+	case p.policy == PolicySteal && worker >= 0 && worker < len(p.deques):
 		p.deques[worker].PushBottomBatch(its)
-	} else {
+	case p.policy == PolicyStealPrio && worker >= 0 && worker < len(p.prio):
+		// Push maximal same-band runs in one batch each; fan-outs from one
+		// task usually share a priority class, so this is typically one
+		// PushBottomBatch call.
+		bands := p.prio[worker]
+		for i := 0; i < len(its); {
+			b := bandOf(its[i].Priority)
+			j := i + 1
+			for j < len(its) && bandOf(its[j].Priority) == b {
+				j++
+			}
+			bands[b].PushBottomBatch(its[i:j])
+			i = j
+		}
+	default:
 		p.shared.PushBatch(its)
 	}
 	p.wakeN(len(its))
+}
+
+func (p *Pool) pushLocal(worker int, it Item) {
+	switch {
+	case p.policy == PolicySteal && worker >= 0 && worker < len(p.deques):
+		p.deques[worker].PushBottom(it)
+	case p.policy == PolicyStealPrio && worker >= 0 && worker < len(p.prio):
+		p.prio[worker][bandOf(it.Priority)].PushBottom(it)
+	default:
+		p.shared.Push(it)
+	}
 }
 
 // Stop asks workers to exit once and waits for them. Pending work is not
@@ -232,69 +423,168 @@ func (p *Pool) Stop() {
 	p.wg.Wait()
 }
 
+// wake grants one parked worker a wake permit. The fast path — no worker
+// has announced intent to sleep — is a single atomic load: steady-state
+// submission while all workers are busy touches no lock. The ordering
+// argument is the classic two-phase one: the caller's queue push (an
+// atomic store or a mutex release, both full barriers here) precedes its
+// idlers load, and a parking worker increments idlers before its final
+// queue re-check, so either the submitter sees the idler or the idler
+// sees the item.
 func (p *Pool) wake() {
+	if p.idlers.Load() == 0 {
+		return
+	}
 	p.mu.Lock()
 	p.idleFired = false
-	p.cond.Signal()
-	p.mu.Unlock()
-}
-
-// wakeN wakes up to n idle workers after a batch submission.
-func (p *Pool) wakeN(n int) {
-	p.mu.Lock()
-	p.idleFired = false
-	if n >= p.n {
-		p.cond.Broadcast()
-	} else {
-		for ; n > 0; n-- {
-			p.cond.Signal()
+	if p.permits < p.n {
+		p.permits++
+		p.wakes.Add(1)
+		if p.wakesC != nil {
+			p.wakesC.Add(1)
 		}
 	}
 	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// wakeN wakes up to n parked workers after a batch submission, never
+// granting more permits than there are announced idlers (the old
+// implementation signaled once per item, waking workers that had nothing
+// to claim).
+func (p *Pool) wakeN(n int) {
+	idle := int(p.idlers.Load())
+	if idle == 0 {
+		return
+	}
+	if n > idle {
+		n = idle
+	}
+	p.mu.Lock()
+	p.idleFired = false
+	if p.permits+n > p.n {
+		n = p.n - p.permits
+	}
+	p.permits += n
+	p.mu.Unlock()
+	if n <= 0 {
+		return
+	}
+	p.wakes.Add(int64(n))
+	if p.wakesC != nil {
+		p.wakesC.Add(int64(n))
+	}
+	if n >= idle {
+		p.cond.Broadcast()
+		return
+	}
+	for ; n > 0; n-- {
+		p.cond.Signal()
+	}
 }
 
 func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
 	for {
-		it, ok := p.next(id, rng)
-		if !ok {
-			p.mu.Lock()
-			p.busy--
-			for {
-				if p.done {
-					p.mu.Unlock()
-					return
-				}
-				// Re-check for work that raced with going idle.
-				if it2, ok2 := p.tryNext(id, rng); ok2 {
-					it, ok = it2, true
-					break
-				}
-				// Last worker out with nothing queued: the pool is
-				// quiescent; fire the idle hook (once per transition)
-				// outside the lock, then re-check — the hook may have
-				// triggered remote activity that loops back as work.
-				if p.busy == 0 && p.idle != nil && !p.idleFired {
-					p.idleFired = true
-					f := p.idle
-					p.mu.Unlock()
-					f()
-					p.mu.Lock()
-					continue
-				}
-				p.cond.Wait()
-			}
-			p.busy++
-			p.mu.Unlock()
-			if !ok {
-				continue
-			}
+		if it, ok := p.tryNext(id, rng); ok {
+			p.execute(id, it)
+			continue
 		}
+		if !p.park(id, rng) {
+			return
+		}
+	}
+}
+
+// park is the two-phase spin-then-park protocol. Phase one: spin briefly,
+// then announce intent to sleep (idlers) and re-check every queue — any
+// submission racing with the announcement is either found by the re-check
+// or grants a permit. Phase two: block under the lock until a permit
+// arrives, firing the idle hook if this is the last worker out. Returns
+// false when the pool is stopping.
+func (p *Pool) park(id int, rng *rand.Rand) bool {
+	for s := 0; s < parkSpinRounds; s++ {
+		runtime.Gosched()
+		if it, ok := p.tryNext(id, rng); ok {
+			p.execute(id, it)
+			return true
+		}
+	}
+	p.idlers.Add(1)
+	if it, ok := p.tryNext(id, rng); ok {
+		p.idlers.Add(-1)
+		p.execute(id, it)
+		return true
+	}
+	p.mu.Lock()
+	p.busy--
+	for {
+		if p.done {
+			p.mu.Unlock()
+			return false
+		}
+		if p.permits > 0 {
+			p.permits--
+			break
+		}
+		// Last worker out with nothing queued: the pool is quiescent;
+		// fire the idle hook (once per transition) outside the lock, then
+		// re-check — the hook may have triggered remote activity that
+		// loops back as work.
+		if p.busy == 0 && p.idle != nil && !p.idleFired {
+			p.idleFired = true
+			f := p.idle
+			p.mu.Unlock()
+			f()
+			p.mu.Lock()
+			continue
+		}
+		p.ws[id].parks.Add(1)
+		if p.parksC != nil {
+			p.parksC.Add(1)
+		}
+		p.cond.Wait()
+	}
+	p.busy++
+	p.mu.Unlock()
+	p.idlers.Add(-1)
+	return true
+}
+
+// execute runs it and then drains the worker's run-next chain: each
+// finished task may have handed its highest-priority same-rank successor
+// straight back via SubmitLocal, and the worker runs those back to back
+// without touching a queue. The chain depth is tracked in the worker
+// state so SubmitLocal stops inlining at maxInlineChain, and the worker
+// stays busy for the whole chain, so the idle hook cannot fire while a
+// slot is loaded.
+func (p *Pool) execute(id int, it Item) {
+	if p.depth != nil {
+		p.depth.Add(-1)
+	}
+	w := &p.ws[id]
+	w.chain = 0
+	p.runItem(id, it)
+	if !w.ok {
+		return
+	}
+	chain := 0
+	for w.ok {
+		next := w.it
+		w.ok, w.it = false, Item{}
+		chain++
+		w.chain = chain
 		if p.depth != nil {
 			p.depth.Add(-1)
 		}
-		p.runItem(id, it)
+		p.runItem(id, next)
+	}
+	w.chain = 0
+	w.inlineRuns.Add(int64(chain))
+	if p.inlined != nil {
+		p.inlined.Add(int64(chain))
+		p.chainHist.Observe(int64(chain))
 	}
 }
 
@@ -316,40 +606,84 @@ func (p *Pool) runItem(id int, it Item) {
 	p.run(id, it)
 }
 
-func (p *Pool) next(id int, rng *rand.Rand) (Item, bool) {
-	return p.tryNext(id, rng)
-}
-
 func (p *Pool) tryNext(id int, rng *rand.Rand) (Item, bool) {
-	if p.policy != PolicySteal {
-		return p.shared.Pop()
-	}
-	if it, ok := p.deques[id].PopBottom(); ok {
-		return it, true
-	}
-	if it, ok := p.shared.Pop(); ok {
-		return it, true
-	}
-	// Random victim selection, one sweep over the other workers.
-	if p.n > 1 {
-		start := rng.Intn(p.n)
-		for k := 0; k < p.n; k++ {
-			v := (start + k) % p.n
-			if v == id {
+	switch p.policy {
+	case PolicySteal:
+		if it, ok := p.deques[id].PopBottom(); ok {
+			return it, true
+		}
+		if it, ok := p.shared.Pop(); ok {
+			return it, true
+		}
+		return p.trySteal(id, rng)
+	case PolicyStealPrio:
+		// Own bands, highest first. Len is exact for the owner's view of
+		// bottom (thieves only shrink it), so empty bands cost two atomic
+		// loads, not a PopBottom protocol round.
+		own := p.prio[id]
+		for b := numBands - 1; b >= 0; b-- {
+			if own[b].Len() == 0 {
 				continue
 			}
+			if it, ok := own[b].PopBottom(); ok {
+				return it, true
+			}
+		}
+		if it, ok := p.shared.Pop(); ok {
+			return it, true
+		}
+		return p.trySteal(id, rng)
+	default:
+		return p.shared.Pop()
+	}
+}
+
+// trySteal sweeps the other workers once from a random starting victim,
+// taking the highest-band item a victim exposes under PolicyStealPrio.
+func (p *Pool) trySteal(id int, rng *rand.Rand) (Item, bool) {
+	if p.n <= 1 {
+		return Item{}, false
+	}
+	w := &p.ws[id]
+	w.stealAttempts.Add(1)
+	if p.stealAtt != nil {
+		p.stealAtt.Add(1)
+	}
+	start := rng.Intn(p.n)
+	for k := 0; k < p.n; k++ {
+		v := (start + k) % p.n
+		if v == id {
+			continue
+		}
+		if p.policy == PolicySteal {
 			if it, ok := p.deques[v].Steal(); ok {
-				if p.tr != nil {
-					p.tr.TasksStolen.Add(1)
-				}
-				if p.obs != nil {
-					p.steals.Add(1)
-					p.obs.Record(obs.Event{Kind: obs.EvSteal, Worker: int32(id),
-						TT: -1, Bytes: int64(v)})
-				}
+				p.recordSteal(id, v, w)
+				return it, true
+			}
+			continue
+		}
+		for b := numBands - 1; b >= 0; b-- {
+			d := p.prio[v][b]
+			if d.Len() == 0 {
+				continue
+			}
+			if it, ok := d.Steal(); ok {
+				p.recordSteal(id, v, w)
 				return it, true
 			}
 		}
 	}
 	return Item{}, false
+}
+
+func (p *Pool) recordSteal(id, victim int, w *workerState) {
+	w.stealHits.Add(1)
+	if p.tr != nil {
+		p.tr.TasksStolen.Add(1)
+	}
+	if p.obs != nil {
+		p.steals.Add(1)
+		p.obs.Record(obs.Event{Kind: obs.EvSteal, Worker: int32(id),
+			TT: -1, Bytes: int64(victim)})
+	}
 }

@@ -175,7 +175,7 @@ func runPoolTest(t *testing.T, policy Policy, workers, items int) {
 }
 
 func TestPoolAllPoliciesExecuteEverything(t *testing.T) {
-	for _, pol := range []Policy{PolicyFIFO, PolicyLIFO, PolicyPriority, PolicySteal} {
+	for _, pol := range []Policy{PolicyFIFO, PolicyLIFO, PolicyPriority, PolicySteal, PolicyStealPrio} {
 		t.Run(pol.String(), func(t *testing.T) {
 			runPoolTest(t, pol, 4, 5000)
 		})
@@ -382,7 +382,7 @@ func TestQueuePushBatch(t *testing.T) {
 }
 
 func TestPoolSubmitBatchExecutesEverything(t *testing.T) {
-	for _, pol := range []Policy{PolicyFIFO, PolicySteal} {
+	for _, pol := range []Policy{PolicyFIFO, PolicySteal, PolicyStealPrio} {
 		t.Run(pol.String(), func(t *testing.T) {
 			const items = 5000
 			var count int64

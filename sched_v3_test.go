@@ -1,0 +1,254 @@
+// Scheduler v3 benches and invariants: the contended fan-out ablation
+// (PolicyPriority heap vs PolicySteal vs PolicyStealPrio banded deques),
+// the priority-inversion window, the run-next inlining ablation, and the
+// regression guards over BENCH_sched.json. These are the scheduling-layer
+// counterparts of the comm benches behind BENCH_comm.json.
+package repro
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/apps/cholesky"
+	"repro/internal/backend/sim"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/tile"
+	"repro/ttg"
+)
+
+// benchSchedFanout is the contended fan-out workload: every op seeds one
+// root that unfolds into a 4-ary tree of depth 3 (85 tasks) through
+// SubmitLocalBatch while 8 workers chew concurrently, so submissions,
+// pops, and wakeups all contend. Priorities vary by depth, so the
+// priority-aware policies do real banding/heap work rather than degenerate
+// single-bucket traffic.
+func benchSchedFanout(b *testing.B, pol sched.Policy, inline bool) {
+	const (
+		workers = 8
+		fan     = 4
+		depth   = 3
+		tasks   = 1 + fan + fan*fan + fan*fan*fan // 85
+	)
+	var wg sync.WaitGroup
+	var p *sched.Pool
+	body := func(w int, it sched.Item) {
+		d := it.Value.(int)
+		if d > 0 {
+			batch := make([]sched.Item, fan)
+			for i := range batch {
+				batch[i] = sched.Item{Priority: int64((d-1)*20 + i), Value: d - 1}
+			}
+			wg.Add(fan)
+			p.SubmitLocalBatch(w, batch)
+		}
+		wg.Done()
+	}
+	p = sched.NewPool(workers, pol, body)
+	if !inline {
+		p.DisableRunNext()
+	}
+	p.Start()
+	defer p.Stop()
+	roots := make([]sched.Item, b.N)
+	for i := range roots {
+		roots[i] = sched.Item{Priority: depth * 20, Value: depth}
+	}
+	wg.Add(b.N)
+	b.ResetTimer()
+	p.SubmitBatch(roots)
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(tasks, "tasks/op")
+}
+
+// BenchmarkSchedFanoutContended pits the three priority-capable dispatch
+// structures against each other on the contended fan-out: the exact-order
+// shared heap, priority-blind stealing, and banded priority stealing.
+func BenchmarkSchedFanoutContended(b *testing.B) {
+	b.Run("priority", func(b *testing.B) { benchSchedFanout(b, sched.PolicyPriority, true) })
+	b.Run("steal", func(b *testing.B) { benchSchedFanout(b, sched.PolicySteal, true) })
+	b.Run("stealprio", func(b *testing.B) { benchSchedFanout(b, sched.PolicyStealPrio, true) })
+}
+
+// benchSchedInversion loads a stopped pool with a bulk of low-priority
+// items and then a few high-priority stragglers (submitted last, the
+// adversarial order for FIFO-shaped queues), starts the workers, and
+// measures where in the completion sequence the high-priority items land.
+// hipri_window is the mean completion index of high-priority items as a
+// fraction of the total: an exact-order heap pins it near 0, a
+// priority-blind queue pushes it toward 1.
+func benchSchedInversion(b *testing.B, pol sched.Policy) {
+	const (
+		workers = 4
+		bulk    = 4096
+		hi      = 64
+	)
+	var windowSum float64
+	for i := 0; i < b.N; i++ {
+		var seq, hiIdxSum atomic.Int64
+		var wg sync.WaitGroup
+		p := sched.NewPool(workers, pol, func(w int, it sched.Item) {
+			idx := seq.Add(1)
+			if it.Priority > 1 {
+				hiIdxSum.Add(idx)
+			}
+			wg.Done()
+		})
+		wg.Add(bulk + hi)
+		batch := make([]sched.Item, bulk)
+		for j := range batch {
+			batch[j] = sched.Item{Priority: 1, Value: j}
+		}
+		p.SubmitBatch(batch)
+		stragglers := make([]sched.Item, hi)
+		for j := range stragglers {
+			stragglers[j] = sched.Item{Priority: 1000, Value: j}
+		}
+		p.SubmitBatch(stragglers)
+		p.Start()
+		wg.Wait()
+		p.Stop()
+		mean := float64(hiIdxSum.Load()) / hi
+		windowSum += mean / (bulk + hi)
+	}
+	b.ReportMetric(windowSum/float64(b.N), "hipri_window")
+}
+
+// BenchmarkSchedPriorityInversion measures priority adherence under load
+// for the exact heap, the banded stealer, and the priority-blind stealer.
+func BenchmarkSchedPriorityInversion(b *testing.B) {
+	b.Run("priority", func(b *testing.B) { benchSchedInversion(b, sched.PolicyPriority) })
+	b.Run("stealprio", func(b *testing.B) { benchSchedInversion(b, sched.PolicyStealPrio) })
+	b.Run("steal", func(b *testing.B) { benchSchedInversion(b, sched.PolicySteal) })
+}
+
+// benchSchedChain runs dependency chains through SubmitLocal — the shape
+// successor inlining exists for. One op is one task; 16 chains run
+// concurrently on 8 workers so the no-inline variant pays real queue and
+// wakeup traffic.
+func benchSchedChain(b *testing.B, inline bool) {
+	const (
+		workers = 8
+		chains  = 16
+	)
+	length := b.N/chains + 1
+	var wg sync.WaitGroup
+	var p *sched.Pool
+	body := func(w int, it sched.Item) {
+		v := it.Value.(int)
+		if v > 0 {
+			wg.Add(1)
+			p.SubmitLocal(w, sched.Item{Priority: int64(v % 50), Value: v - 1})
+		}
+		wg.Done()
+	}
+	p = sched.NewPool(workers, sched.PolicyStealPrio, body)
+	if !inline {
+		p.DisableRunNext()
+	}
+	p.Start()
+	defer p.Stop()
+	roots := make([]sched.Item, chains)
+	for i := range roots {
+		roots[i] = sched.Item{Priority: int64(i), Value: length}
+	}
+	wg.Add(chains)
+	b.ResetTimer()
+	p.SubmitBatch(roots)
+	wg.Wait()
+	b.StopTimer()
+	st := p.Stats()
+	total := float64(chains * (length + 1))
+	b.ReportMetric(float64(st.InlineRuns)/total, "inlined_frac")
+}
+
+// BenchmarkSchedInline is the run-next ablation: identical chain workload
+// with the slot on vs off.
+func BenchmarkSchedInline(b *testing.B) {
+	b.Run("on", func(b *testing.B) { benchSchedChain(b, true) })
+	b.Run("off", func(b *testing.B) { benchSchedChain(b, false) })
+}
+
+// TestAblationPriorityInvariant is the asserted extension of
+// BenchmarkAblationPriority: at a rank/worker count where workers are
+// contended (8 ranks x 16 workers, 64x64 tiles), Cholesky's critical-path
+// priority map must measurably shorten the simulated makespan vs
+// priorities-off. Virtual time is deterministic, so the floor is a real
+// regression tripwire for both the priority map and the scheduler's
+// priority handling, not a flaky timing test. (Observed speedup ~1.066;
+// asserted floor leaves headroom for cost-model tweaks.)
+func TestAblationPriorityInvariant(t *testing.T) {
+	grid := tile.Grid{N: 16384, NB: 256}
+	machine := cluster.Hawk()
+	run := func(prio bool) float64 {
+		rt := sim.New(sim.Config{Ranks: 8, WorkersPerRank: 16, Machine: machine,
+			Flavor: cluster.ParsecFlavor(), Cost: cholesky.CostModel(grid, machine)})
+		rt.Run(func(p *sim.Proc) {
+			g := ttg.NewGraphOn(p)
+			app := cholesky.Build(g, cholesky.Options{Grid: grid, Phantom: true, Priorities: prio})
+			g.MakeExecutable()
+			app.Seed()
+			g.Fence()
+		})
+		return rt.Now()
+	}
+	on, off := run(true), run(false)
+	speedup := off / on
+	if speedup < 1.02 {
+		t.Fatalf("priority map no longer shortens the critical path: makespan on=%.4fs off=%.4fs (speedup %.4f, want >= 1.02)",
+			on, off, speedup)
+	}
+	t.Logf("priority-map speedup at 8x16 workers: %.4f (on=%.4fs off=%.4fs)", speedup, on, off)
+}
+
+// TestSchedBenchGuard is the benchstat-style CI guard over the committed
+// scheduling baseline: with TTG_BENCH_GUARD=1 it re-runs the contended
+// fan-out for PolicyPriority and PolicyStealPrio and fails if the
+// stealprio-vs-priority speedup regressed more than 10% below the ratio
+// recorded in BENCH_sched.json. Comparing the ratio (not absolute ns/op)
+// keeps the guard meaningful across machines of different speeds.
+func TestSchedBenchGuard(t *testing.T) {
+	if os.Getenv("TTG_BENCH_GUARD") != "1" {
+		t.Skip("set TTG_BENCH_GUARD=1 to run the scheduling bench guard")
+	}
+	raw, err := os.ReadFile("BENCH_sched.json")
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	var baseline struct {
+		Summary struct {
+			ContendedFanoutSpeedup float64 `json:"contended_fanout_speedup"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parse BENCH_sched.json: %v", err)
+	}
+	base := baseline.Summary.ContendedFanoutSpeedup
+	if base <= 1 {
+		t.Fatalf("BENCH_sched.json contended_fanout_speedup = %v, want > 1", base)
+	}
+	best := func(pol sched.Policy) float64 {
+		ns := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) { benchSchedFanout(b, pol, true) })
+			if v := float64(r.T.Nanoseconds()) / float64(r.N); v < ns {
+				ns = v
+			}
+		}
+		return ns
+	}
+	prioNs := best(sched.PolicyPriority)
+	stealPrioNs := best(sched.PolicyStealPrio)
+	ratio := prioNs / stealPrioNs
+	if ratio < base*0.9 {
+		t.Fatalf("contended fan-out regressed: stealprio/priority speedup %.2f, committed baseline %.2f (>10%% regression)",
+			ratio, base)
+	}
+	t.Logf("contended fan-out: priority %.0f ns/op, stealprio %.0f ns/op, speedup %.2f (baseline %.2f)",
+		prioNs, stealPrioNs, ratio, base)
+}
