@@ -3,7 +3,7 @@
 // matrix, and reports the sparsity profile, throughput, and communication
 // statistics.
 //
-// Usage: bspmm [-atoms 120] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|dbcsr] [-layers N] [-trace out.json] [-stats]
+// Usage: bspmm [-atoms 120] [-ranks 4] [-workers 2] [-backend parsec|madness] [-variant ttg|dbcsr] [-layers N] [-flat-reduce] [-trace out.json] [-stats]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 	backendName := flag.String("backend", "parsec", "runtime backend: parsec or madness")
 	variantName := flag.String("variant", "ttg", "algorithm: ttg (2D SUMMA) or dbcsr (2.5D model)")
 	layers := flag.Int("layers", 0, "2.5D replica layers (dbcsr model; 0 = auto)")
+	flatReduce := flag.Bool("flat-reduce", false, "disable hierarchical reduction of inter-layer C partials (ablation)")
 	obsFlags := obscli.Register(nil)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, obsFlags.Hook(), func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := bspmm.Build(g, bspmm.Options{
-			A: mat, Variant: variant, Layers: *layers,
+			A: mat, Variant: variant, Layers: *layers, FlatReduce: *flatReduce,
 			OnResult: func(i, j int, t *tile.Tile) {
 				mu.Lock()
 				produced++

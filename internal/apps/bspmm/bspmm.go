@@ -74,6 +74,12 @@ type Options struct {
 	// Layers is the 2.5D replica count (DBCSR model; must divide the rank
 	// count). Default: largest of {4, 2, 1} that divides ranks.
 	Layers int
+	// FlatReduce keeps the inter-layer ReduceC on point-to-point
+	// owner-side reduction (the seed behavior) instead of the commutative
+	// hierarchical reduction. Ablation comparator: with L contributing
+	// layers the owner absorbs L-1 reducer messages per C tile flat vs
+	// ≤⌈log₂L⌉ tree partials.
+	FlatReduce bool
 	// OnResult receives every product tile on its owner rank.
 	OnResult func(i, j int, t *tile.Tile)
 }

@@ -258,20 +258,29 @@ func (a *App) buildDBCSR() {
 		a.buildStepBarrier(g)
 	}
 
-	// ReduceC: sums the layer partials (streaming terminal sized by the
-	// number of contributing layers) and emits the product tile.
-	ttg.MakeTT1(g, "ReduceC",
-		ttg.ReduceInput(a.reduceC,
-			func(acc, v *tile.Tile) *tile.Tile {
-				if !acc.IsPhantom() && !v.IsPhantom() {
-					for idx := range acc.Data {
-						acc.Data[idx] += v.Data[idx]
-					}
+	// ReduceC: sums the layer partials (streaming terminal sized up front by
+	// the number of contributing layers) and emits the product tile.
+	// Elementwise addition is associative and commutative, so the terminal
+	// defaults to the Commutative hint: layer partials targeting the same
+	// remote owner pre-reduce locally and climb a binomial tree instead of
+	// each crossing the network alone (FlatReduce keeps the point-to-point
+	// seed behavior as the ablation comparator).
+	reduceIn := ttg.ReduceInput(a.reduceC,
+		func(acc, v *tile.Tile) *tile.Tile {
+			if !acc.IsPhantom() && !v.IsPhantom() {
+				for idx := range acc.Data {
+					acc.Data[idx] += v.Data[idx]
 				}
-				return acc
-			},
-			func(key ttg.Int2) int { return a.contributingLayers(key[0], key[1]) },
-		),
+			}
+			return acc
+		},
+		func(key ttg.Int2) int { return a.contributingLayers(key[0], key[1]) },
+	)
+	if !a.opts.FlatReduce {
+		reduceIn = reduceIn.Commutative()
+	}
+	ttg.MakeTT1(g, "ReduceC",
+		reduceIn,
 		ttg.Out(a.outC),
 		func(x *ttg.Ctx[ttg.Int2], t *tile.Tile) {
 			ttg.SendM(x, a.outC, x.Key(), t, ttg.Move)

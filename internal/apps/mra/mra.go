@@ -327,19 +327,29 @@ func (a *App) build() {
 	// COMPRESS: the fast wavelet transform, one task per interior node.
 	// The single streaming terminal absorbs all 2^d children regardless of
 	// d — the Listing 3 pattern.
-	ttg.MakeTT1(a.g, "Compress",
-		ttg.ReduceInput(a.compressUp,
-			func(acc, v *TreeMsg) *TreeMsg {
-				for c, s := range v.Children {
-					if s != nil {
-						acc.Children[c] = s
-					}
+	// Each child message populates a disjoint Children slot, so the merge
+	// commutes. Only the phased model takes the Commutative hint: its
+	// reductions are fence-bounded, so parking partials for hierarchical
+	// combining costs nothing, while the streamed pipeline lives on the
+	// latency of individual child messages (a parked partial would hold
+	// back the parent compress and serialize the sweep).
+	compressIn := ttg.ReduceInput(a.compressUp,
+		func(acc, v *TreeMsg) *TreeMsg {
+			for c, s := range v.Children {
+				if s != nil {
+					acc.Children[c] = s
 				}
-				acc.LeafMask |= v.LeafMask
-				return acc
-			},
-			func(ttg.Int5) int { return nc },
-		),
+			}
+			acc.LeafMask |= v.LeafMask
+			return acc
+		},
+		func(ttg.Int5) int { return nc },
+	)
+	if phased {
+		compressIn = compressIn.Commutative()
+	}
+	ttg.MakeTT1(a.g, "Compress",
+		compressIn,
 		ttg.Out(a.compressUp, a.reconS, a.reconD, a.normIn),
 		func(x *ttg.Ctx[ttg.Int5], msg *TreeMsg) {
 			key := x.Key()
@@ -434,9 +444,17 @@ func (a *App) build() {
 
 	// NORM: per-function reduction of leaf norms; the stream length is
 	// announced dynamically (by the root compress in the TTG variant, by
-	// the rank count in the phased model).
+	// the rank count in the phased model — SetStreamSize, being
+	// count-based, is compatible with the commutative combiner). The
+	// phased model sums one partial per rank here, the textbook allreduce
+	// shape for the binomial tree; the streamed variant sends a single
+	// root value per function, where combining buys nothing.
+	normIn := ttg.ReduceInput(a.normIn, func(acc, v float64) float64 { return acc + v }, nil)
+	if phased {
+		normIn = normIn.Commutative()
+	}
 	ttg.MakeTT1(a.g, "Norm",
-		ttg.ReduceInput(a.normIn, func(acc, v float64) float64 { return acc + v }, nil),
+		normIn,
 		nil,
 		func(x *ttg.Ctx[ttg.Int1], sum float64) {
 			if a.opts.OnNorm != nil {

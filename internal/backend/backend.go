@@ -234,12 +234,22 @@ func newProc(rt *Runtime, rank int) *Proc {
 	}
 	if rt.opts.CoalesceBytes > 0 {
 		p.coal = newCoalescer(p, rt.Ranks(), rt.opts.CoalesceBytes, rt.opts.CoalesceCount)
-		// Flush buffered frames whenever the scheduler quiesces, so
-		// batching never holds a message the termination detector is
-		// waiting on.
-		p.pool.OnIdle(p.flushSends)
 	}
+	// Flush parked reduction partials and buffered coalesced frames
+	// whenever the scheduler quiesces, so neither form of batching holds
+	// work the termination detector is waiting on. Reductions drain first:
+	// their partial sends may land in the coalescer.
+	p.pool.OnIdle(p.idleFlush)
 	return p
+}
+
+// idleFlush is the pool's went-idle hook: drain combiner slots (their
+// partial sends feed the coalescer), then the coalescer itself.
+func (p *Proc) idleFlush() {
+	if g := p.boundGraph(); g != nil {
+		g.FlushReductions(false)
+	}
+	p.flushSends()
 }
 
 func (p *Proc) start(wg *sync.WaitGroup) {
@@ -293,6 +303,11 @@ func (p *Proc) Deactivate() { p.det.Deactivate() }
 // Buffered coalesced frames are flushed first — a fence can only complete
 // once every counted message has actually reached the wire.
 func (p *Proc) Fence() {
+	// Seeds folded on the main thread may have parked combiner slots
+	// without ever waking the pool; drain them before counting the fence.
+	if g := p.boundGraph(); g != nil {
+		g.FlushReductions(false)
+	}
 	p.flushSends()
 	if p.rec == nil {
 		p.det.Fence()
@@ -369,7 +384,7 @@ func (p *Proc) Deliver(dest int, d core.Delivery) {
 	if dest == p.rank {
 		panic("backend: Deliver to self")
 	}
-	if d.Control == core.CtrlNone && p.rt.opts.SplitMD {
+	if (d.Control == core.CtrlNone || d.Control == core.CtrlReduce) && p.rt.opts.SplitMD {
 		if _, ok := serde.SplitMDFor(d.Value); ok && serde.WireSizeAny(d.Value) >= p.rt.opts.EagerThreshold {
 			p.deliverSplit(dest, d)
 			return
@@ -377,7 +392,7 @@ func (p *Proc) Deliver(dest int, d core.Delivery) {
 	}
 	b := serde.GetBuffer(256)
 	core.EncodeHeader(b, d)
-	hasValue := d.Control == core.CtrlNone
+	hasValue := d.Control == core.CtrlNone || d.Control == core.CtrlReduce
 	b.PutBool(hasValue)
 	if hasValue {
 		serde.EncodeAny(b, d.Value)
@@ -507,6 +522,12 @@ func (p *Proc) commLoop() {
 				d.Exclusive = true
 			}
 			p.graph.Inject(d)
+			if d.Control == core.CtrlReduce {
+				// A non-owner folds the partial through immediately and
+				// forwards it up the tree; push that send onto the wire
+				// now — the pool may be idle and never re-trigger a flush.
+				p.flushSends()
+			}
 			p.det.Deactivate()
 			// Decoding copies out of the packet, so the wire buffer is
 			// dead here; donate it to the encode pool.
@@ -596,6 +617,14 @@ func (p *Proc) handleCoal(data []byte, src int) {
 	}
 	if len(dels) > 0 {
 		p.graph.InjectBatch(dels)
+		for i := range dels {
+			if dels[i].Control == core.CtrlReduce {
+				// Forwarded partials must not park in the coalescer; see
+				// the kData branch of commLoop.
+				p.flushSends()
+				break
+			}
+		}
 		for range dels {
 			p.det.Deactivate()
 		}
@@ -635,6 +664,9 @@ func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes
 	// The allocated+fetched object belongs to this rank alone.
 	d.Exclusive = true
 	p.graph.Inject(d)
+	if d.Control == core.CtrlReduce {
+		p.flushSends()
+	}
 	// Notify the sender so it can release the source object.
 	p.ep.Send(src, kSplitAck, simnet.EncodeHandle(nil, h))
 }
@@ -694,6 +726,8 @@ func (p *Proc) CollectLive(emit func(live.Sample)) {
 	if g := p.boundGraph(); g != nil {
 		emit(live.Sample{Name: obs.GaugePendingShells, Rank: p.rank,
 			Value: float64(g.PendingTaskCount())})
+		emit(live.Sample{Name: obs.GaugePendingReductions, Rank: p.rank,
+			Value: float64(g.PendingReductions())})
 	}
 	var depth int
 	for _, d := range p.pool.Depths() {

@@ -228,6 +228,14 @@ func (p *Proc) Activate() {}
 // Deactivate implements core.Executor.
 func (p *Proc) Deactivate() {}
 
+// BuffersReductions opts the virtual backend into buffered (wave-flushed)
+// hierarchical reduction: combiner slots park until the fence drain runs
+// out of events, then each idle wave releases the slots whose reduce-tree
+// children have already flushed (the age gate), so partials climb the tree
+// one level per wave and the owner receives the binomial-bound number of
+// partials deterministically.
+func (p *Proc) BuffersReductions() bool { return true }
+
 // Bind attaches the rank's sealed graph.
 func (p *Proc) Bind(g *core.Graph) {
 	if !g.Sealed() {
@@ -413,10 +421,11 @@ func (p *Proc) complete(t *core.Task) {
 	finish()
 }
 
-// valueBytes estimates the wire size of a delivery.
+// valueBytes estimates the wire size of a delivery. Data deliveries and
+// reduce-tree partials carry a value; pure controls are header-only.
 func valueBytes(d core.Delivery) int {
 	n := core.HeaderWireSize(d)
-	if d.Control == core.CtrlNone && d.Value != nil {
+	if (d.Control == core.CtrlNone || d.Control == core.CtrlReduce) && d.Value != nil {
 		n += serde.WireSizeAny(d.Value)
 	}
 	return n
@@ -454,7 +463,7 @@ func (p *Proc) deliver(dest int, d core.Delivery) {
 
 	useSplit := false
 	var payload int
-	if d.Control == core.CtrlNone && fl.SplitMD {
+	if (d.Control == core.CtrlNone || d.Control == core.CtrlReduce) && fl.SplitMD {
 		if smd, ok := d.Value.(serde.SplitMD); ok {
 			if _, has := serde.SplitMDFor(d.Value); has && smd.PayloadBytes() >= fl.EagerThreshold {
 				useSplit = true
@@ -489,7 +498,7 @@ func (p *Proc) deliver(dest int, d core.Delivery) {
 	// Eager archive path: serialize (copy), transfer, deserialize (copy).
 	total := valueBytes(d)
 	p.tr.BytesSent.Add(int64(total))
-	if d.Control == core.CtrlNone {
+	if d.Control == core.CtrlNone || d.Control == core.CtrlReduce {
 		p.tr.ArchiveTransfers.Add(1)
 	}
 	depart := maxf(now, p.nicFreeAt)
@@ -643,6 +652,23 @@ func (p *Proc) Fence() {
 		})
 		start := rt.eng.Now()
 		rt.eng.Run()
+		// Idle waves: the event queue is dry, so release combiner slots
+		// whose reduce-tree children have flushed (core.FlushReductions'
+		// age gate) and drain the traffic they generate; repeat until no
+		// parked partials remain. Procs sweep in rank order and shards in
+		// creation order, keeping virtual time deterministic.
+		for {
+			swept := 0
+			for _, q := range rt.procs {
+				if g := q.bound.Load(); g != nil {
+					swept += g.FlushReductions(true)
+				}
+			}
+			if swept == 0 {
+				break
+			}
+			rt.eng.Run()
+		}
 		rt.lastDrain = rt.eng.Now() - start
 		des.SetChargeHook(nil)
 		rt.inDrain.Store(false)

@@ -88,6 +88,92 @@ func Depth(n int) int {
 	return d
 }
 
+// The reduction tree is the broadcast tree run in reverse: partials climb
+// from the leaves toward the owner rank, folding at each hop, so the owner
+// receives at most ceil(log2 n) partials instead of n-1 point-to-point
+// messages. Unlike a broadcast — whose destination set is known when the
+// send happens — a streaming-terminal reduction cannot know up front which
+// ranks will contribute, so the reduce tree always spans all n ranks and
+// the relative-rank mapping is computed in O(1) instead of via an Order
+// slice: rel(root) = 0, ranks below the root shift up by one, ranks above
+// keep their index. Every rank computes the same mapping, so the tree
+// needs no coordination.
+
+// reduceRel maps absolute rank me to its relative rank in the reduce tree
+// rooted at root over n ranks.
+func reduceRel(root, me int) int {
+	switch {
+	case me == root:
+		return 0
+	case me < root:
+		return me + 1
+	default:
+		return me
+	}
+}
+
+// reduceAbs inverts reduceRel.
+func reduceAbs(root, rel int) int {
+	switch {
+	case rel == 0:
+		return root
+	case rel <= root:
+		return rel - 1
+	default:
+		return rel
+	}
+}
+
+// ReduceOrder returns the deterministic rank ordering of the reduce tree
+// rooted at root over n ranks: the root first, then the remaining ranks in
+// ascending order — the exact ordering Order produces for a broadcast to
+// every rank. Diagnostic/testing helper; the hot path uses the O(1)
+// ReduceParent/ReduceChildren instead.
+func ReduceOrder(root, n int) []int {
+	out := make([]int, n)
+	for rel := 0; rel < n; rel++ {
+		out[rel] = reduceAbs(root, rel)
+	}
+	return out
+}
+
+// ReduceParent returns the absolute rank that me forwards its folded
+// partial to in the reduce tree rooted at root over n ranks, or -1 when me
+// is the root (the owner, where the stream terminates).
+func ReduceParent(root, n, me int) int {
+	p := Parent(reduceRel(root, me))
+	if p < 0 {
+		return -1
+	}
+	return reduceAbs(root, p)
+}
+
+// ReduceChildren returns the absolute ranks whose partials me folds before
+// forwarding, in the reduce tree rooted at root over n ranks. The owner's
+// result bounds its inbound partial count: len(ReduceChildren(root, n,
+// root)) <= Depth(n) = ceil(log2 n).
+func ReduceChildren(root, n, me int) []int {
+	kids := Children(n, reduceRel(root, me))
+	if len(kids) == 0 {
+		return nil
+	}
+	out := make([]int, len(kids))
+	for i, k := range kids {
+		out[i] = reduceAbs(root, k)
+	}
+	return out
+}
+
+// ReduceHeight returns the height of me's subtree in the reduce tree (0
+// for leaves). The sim backend's wave flush uses it as an age gate: a rank
+// at height h holds its partial for h idle waves so all of its children —
+// at strictly smaller heights — have flushed into it first, keeping the
+// owner's inbound partial count at its binomial-tree bound even though
+// flushing is driven by global idleness rather than per-hop acks.
+func ReduceHeight(root, n, me int) int {
+	return len(Children(n, reduceRel(root, me)))
+}
+
 // Observe records the shape of a planned tree broadcast on the root's
 // recorder: a bcast-forward-free EvBroadcast event carrying the
 // participant count (Bytes) and tree depth (Dur), plus the fan-out

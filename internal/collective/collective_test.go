@@ -174,3 +174,72 @@ func TestDepthLogarithmic(t *testing.T) {
 		}
 	}
 }
+
+// TestReduceTreeStructure checks the O(1) reduce-tree mapping against the
+// broadcast tree over the same ordering: parents and children must be
+// mutually consistent, every non-root rank must reach the root, and the
+// root's inbound degree must respect the binomial bound.
+func TestReduceTreeStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 64, 100} {
+		for root := 0; root < n; root++ {
+			order := ReduceOrder(root, n)
+			if len(order) != n || order[0] != root {
+				t.Fatalf("n=%d root=%d: bad ReduceOrder %v", n, root, order)
+			}
+			seen := map[int]bool{}
+			for _, r := range order {
+				if r < 0 || r >= n || seen[r] {
+					t.Fatalf("n=%d root=%d: ReduceOrder not a permutation: %v", n, root, order)
+				}
+				seen[r] = true
+			}
+			if got := ReduceParent(root, n, root); got != -1 {
+				t.Fatalf("n=%d root=%d: root parent = %d, want -1", n, root, got)
+			}
+			if kids := len(ReduceChildren(root, n, root)); kids > Depth(n) {
+				t.Fatalf("n=%d root=%d: owner in-degree %d exceeds Depth %d", n, root, kids, Depth(n))
+			}
+			for me := 0; me < n; me++ {
+				// Parent/child consistency.
+				for _, c := range ReduceChildren(root, n, me) {
+					if p := ReduceParent(root, n, c); p != me {
+						t.Fatalf("n=%d root=%d: child %d of %d has parent %d", n, root, c, me, p)
+					}
+					if ReduceHeight(root, n, c) >= ReduceHeight(root, n, me) {
+						t.Fatalf("n=%d root=%d: child %d height %d >= parent %d height %d",
+							n, root, c, ReduceHeight(root, n, c), me, ReduceHeight(root, n, me))
+					}
+				}
+				// Every rank reaches the root in <= Depth(n) hops.
+				hops, r := 0, me
+				for r != root {
+					r = ReduceParent(root, n, r)
+					hops++
+					if r < 0 || hops > Depth(n) {
+						t.Fatalf("n=%d root=%d: rank %d does not reach root (stuck at %d after %d hops)",
+							n, root, me, r, hops)
+					}
+				}
+			}
+			// Children partition the non-root ranks: simulate the upward
+			// climb and check every rank folds into the tree exactly once.
+			folded := map[int]int{}
+			for me := 0; me < n; me++ {
+				if me != root {
+					folded[ReduceParent(root, n, me)]++
+				}
+			}
+			total := 0
+			for me := 0; me < n; me++ {
+				if got, want := folded[me], len(ReduceChildren(root, n, me)); got != want {
+					t.Fatalf("n=%d root=%d: rank %d receives %d partials, has %d children",
+						n, root, me, got, want)
+				}
+				total += folded[me]
+			}
+			if total != n-1 {
+				t.Fatalf("n=%d root=%d: %d total hops, want %d", n, root, total, n-1)
+			}
+		}
+	}
+}

@@ -44,6 +44,11 @@ const (
 	CtrlFinalize
 	// CtrlSetSize sets the expected stream length for a key.
 	CtrlSetSize
+	// CtrlReduce carries a partial accumulator up the reduce tree: Value
+	// is the sender's folded partial and N the number of contributions it
+	// represents (see reduce.go). Receivers fold it into their own
+	// combiner slot rather than landing it on the match table directly.
+	CtrlReduce
 )
 
 // TermTarget names input-terminal instances (one terminal, several task
@@ -151,6 +156,15 @@ type InputSpec struct {
 	// messages per task ID; the terminal is satisfied after that many.
 	// When nil the stream must be closed by CtrlSetSize or CtrlFinalize.
 	StreamSize func(key any) int
+	// Commutative declares the Reducer a commutative (and associative)
+	// fold, opting the terminal into hierarchical reduction (reduce.go):
+	// contributions pre-fold in per-rank combining buffers and climb a
+	// binomial tree to the owner instead of each crossing the wire and
+	// the match table individually. Because partials park and hop in
+	// rank-dependent order, a commutative stream must close by count —
+	// StreamSize or SetStreamSize — never FinalizeStream (which would
+	// race the in-flight partials and is rejected with a panic).
+	Commutative bool
 	// Access declares how the task body uses this terminal's value (see
 	// AccessMode). Non-default modes opt the terminal into runtime-owned
 	// data: values may be shared with other consumers until task start,
@@ -225,11 +239,48 @@ type Graph struct {
 	// flowSeq allocates causal span ids for remote deliveries; combined
 	// with the rank it yields cluster-unique nonzero ids.
 	flowSeq atomic.Uint64
+
+	// Hierarchical-reduction state (reduce.go): the sharded combining
+	// buffers, the pre-reduction ablation switch, whether the backend
+	// buffers partials for wave flushing (sim) or flushes them through on
+	// arrival (real transports), and the auto-flush test knob.
+	rshards   []reduceShard
+	rmask     uint64
+	rlive     atomic.Int64
+	preReduce bool
+	rbuffered bool
+	rflush    bool
+
+	// Reduction counters mirrored from trace.Collector into the obs
+	// registry at each fence, like the copy-traffic pair above.
+	reduceFolds    *obs.Counter
+	reduceHops     *obs.Counter
+	reduceSaved    *obs.Counter
+	pendingReduces *obs.Gauge
+	pubRFolds      int64
+	pubRHops       int64
+	pubRSaved      int64
+}
+
+// reductionBuffering is the optional Executor interface a backend
+// implements to declare how combiner slots should drain. A backend that
+// returns true (the discrete-event simulator) parks partials until the
+// engine's idle waves sweep them up the tree age-gated; a backend without
+// it (the real thread-pool transports) gets flush-through: an arriving
+// partial folds and immediately continues toward the owner on the
+// communication thread, so no rank ever parks a partial while another
+// blocks in a fence.
+type reductionBuffering interface {
+	BuffersReductions() bool
 }
 
 // NewGraph creates an empty graph bound to a backend executor.
 func NewGraph(exec Executor) *Graph {
-	g := &Graph{exec: exec}
+	g := &Graph{exec: exec, preReduce: true, rflush: true}
+	if rb, ok := exec.(reductionBuffering); ok {
+		g.rbuffered = rb.BuffersReductions()
+	}
+	g.initReduce()
 	if o := exec.Obs(); o != nil {
 		g.obs = o
 		m := o.Metrics()
@@ -240,6 +291,10 @@ func NewGraph(exec Executor) *Graph {
 		g.dataCopies = m.Counter(obs.CounterDataCopies)
 		g.copiesAvoided = m.Counter(obs.CounterCopiesAvoided)
 		g.pendingShells = m.Gauge(obs.GaugePendingShells)
+		g.reduceFolds = m.Counter(obs.CounterReduceLocalFolds)
+		g.reduceHops = m.Counter(obs.CounterReduceHops)
+		g.reduceSaved = m.Counter(obs.CounterReduceBytesSaved)
+		g.pendingReduces = m.Gauge(obs.GaugePendingReductions)
 	}
 	return g
 }
@@ -349,6 +404,18 @@ func (g *Graph) publishDataMetrics() {
 	if a := tr.CopiesAvoided.Load(); a > g.pubAvoided {
 		g.copiesAvoided.Add(a - g.pubAvoided)
 		g.pubAvoided = a
+	}
+	if f := tr.ReduceLocalFolds.Load(); f > g.pubRFolds {
+		g.reduceFolds.Add(f - g.pubRFolds)
+		g.pubRFolds = f
+	}
+	if h := tr.ReduceHops.Load() + tr.ReduceDeliveries.Load(); h > g.pubRHops {
+		g.reduceHops.Add(h - g.pubRHops)
+		g.pubRHops = h
+	}
+	if b := tr.ReduceBytesSaved.Load(); b > g.pubRSaved {
+		g.reduceSaved.Add(b - g.pubRSaved)
+		g.pubRSaved = b
 	}
 }
 

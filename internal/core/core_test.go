@@ -501,8 +501,16 @@ func TestWireHeaderRoundTrip(t *testing.T) {
 	if got.Targets[0].Keys[1] != any(serde.Int2{3, 4}) {
 		t.Fatalf("keys corrupted: %+v", got.Targets[0])
 	}
+	// A reduction partial carries its folded contribution count.
+	rd := Delivery{Targets: d.Targets[:1], Control: CtrlReduce, N: 5, Mode: SendMove}
+	rb := serde.NewBuffer(64)
+	EncodeHeader(rb, rd)
+	rgot := DecodeHeader(serde.FromBytes(rb.Bytes()))
+	if rgot.Control != CtrlReduce || rgot.N != 5 {
+		t.Fatalf("CtrlReduce round trip: %+v", rgot)
+	}
 	// All control kinds and modes survive the packed first byte.
-	for _, ctl := range []ControlKind{CtrlNone, CtrlFinalize, CtrlSetSize} {
+	for _, ctl := range []ControlKind{CtrlNone, CtrlFinalize, CtrlSetSize, CtrlReduce} {
 		for _, m := range []SendMode{SendCopy, SendBorrow, SendMove} {
 			b := serde.NewBuffer(64)
 			EncodeHeader(b, Delivery{Targets: d.Targets[:1], Control: ctl, N: 1, Mode: m})

@@ -43,6 +43,17 @@ func (c *TaskContext) SetStreamSizeEdge(e *Edge, key any, n int) {
 	c.task.TT.g.controlEdge(e, c.worker, key, CtrlSetSize, n)
 }
 
+// remoteDest is one destination rank's accumulated terminal targets during
+// routing. The per-send working set lives in a stack-backed small-vector:
+// almost every send resolves to at most a handful of ranks (a SUMMA panel
+// send touches one; even wide broadcasts rarely exceed the tree fan-out),
+// so the bookkeeping map the seed design allocated per send is reserved
+// for the >4-rank spill case.
+type remoteDest struct {
+	rank    int
+	targets []TermTarget
+}
+
 // routeEdges is the edge-list form of route; see route for the semantics.
 func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, mode SendMode) {
 	type localTarget struct {
@@ -51,69 +62,103 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 	}
 	// Small sends (the overwhelmingly common case: one edge, one key, one
 	// or two consumers) must not allocate for bookkeeping: the local-target
-	// list starts on a stack buffer and the remote map is built lazily,
-	// only when a key actually maps to another rank.
+	// list starts on a stack buffer and remote destinations collect into a
+	// stack-backed small-vector, spilling to a map only past 4 ranks.
 	var localBuf [8]localTarget
 	locals := localBuf[:0]
-	var remote map[int][]TermTarget
+	var destBuf [4]remoteDest
+	dests := destBuf[:0]
+	var spill map[int]int // rank → index in dests once it outgrew destBuf
 	me := g.exec.Rank()
+
+	// add appends key k for consumer cons to rank dst's target list,
+	// growing the last TermTarget when it already addresses cons (keys of
+	// one consumer arrive consecutively).
+	add := func(cons consumer, dst int, k any) {
+		idx := -1
+		if spill != nil {
+			if j, ok := spill[dst]; ok {
+				idx = j
+			}
+		} else {
+			for j := range dests {
+				if dests[j].rank == dst {
+					idx = j
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			idx = len(dests)
+			dests = append(dests, remoteDest{rank: dst})
+			if spill == nil && len(dests) > len(destBuf) {
+				// Outgrew the stack buffer: index ranks from here on.
+				spill = make(map[int]int, 2*len(dests))
+				for j := range dests {
+					spill[dests[j].rank] = j
+				}
+			} else if spill != nil {
+				spill[dst] = idx
+			}
+		}
+		d := &dests[idx]
+		if n := len(d.targets); n > 0 && d.targets[n-1].TT == cons.tt.id && d.targets[n-1].Term == cons.term {
+			d.targets[n-1].Keys = append(d.targets[n-1].Keys, k)
+			return
+		}
+		d.targets = append(d.targets, TermTarget{TT: cons.tt.id, Term: cons.term, Keys: []any{k}})
+	}
 
 	for i, e := range edges {
 		for _, cons := range e.consumers {
-			var perRank map[int][]any
+			// A commutative streaming terminal absorbs every contribution —
+			// remote-bound ones included — into the local combiner
+			// (reduce.go); the partial climbs the reduce tree later.
+			comb := g.combines(cons.tt, cons.term)
 			for _, k := range keys[i] {
+				if comb {
+					locals = append(locals, localTarget{c: cons, key: k})
+					continue
+				}
 				dst := cons.tt.keymap(k)
 				if dst == me {
 					locals = append(locals, localTarget{c: cons, key: k})
 					continue
 				}
-				if perRank == nil {
-					perRank = map[int][]any{}
-				}
-				perRank[dst] = append(perRank[dst], k)
-			}
-			if perRank != nil {
-				if remote == nil {
-					remote = map[int][]TermTarget{}
-				}
-				for dst, ks := range perRank {
-					remote[dst] = append(remote[dst], TermTarget{TT: cons.tt.id, Term: cons.term, Keys: ks})
-				}
+				add(cons, dst, k)
 			}
 		}
 	}
 
-	if len(remote) == 1 {
-		for dst, targets := range remote {
-			d := Delivery{Targets: targets, Value: value, Mode: mode}
-			if o := g.obs; o != nil {
-				o.Record(obs.Event{Kind: obs.EvSend, Worker: int32(worker), TT: -1})
-				d.Flow = g.nextFlow()
-				o.Record(obs.Event{Kind: obs.EvFlowEmit, Worker: int32(worker), TT: -1,
-					Flow: d.Flow, Bytes: int64(dst)})
-			}
-			g.exec.Deliver(dst, d)
+	if len(dests) == 1 {
+		d := Delivery{Targets: dests[0].targets, Value: value, Mode: mode}
+		if o := g.obs; o != nil {
+			o.Record(obs.Event{Kind: obs.EvSend, Worker: int32(worker), TT: -1})
+			d.Flow = g.nextFlow()
+			o.Record(obs.Event{Kind: obs.EvFlowEmit, Worker: int32(worker), TT: -1,
+				Flow: d.Flow, Bytes: int64(dests[0].rank)})
 		}
-	} else if len(remote) > 1 {
+		g.exec.Deliver(dests[0].rank, d)
+	} else if len(dests) > 1 {
 		o := g.obs
 		if o != nil {
 			o.Record(obs.Event{Kind: obs.EvBroadcast, Worker: int32(worker), TT: -1,
-				Bytes: int64(len(remote))})
+				Bytes: int64(len(dests))})
 		}
-		dests := make(map[int]Delivery, len(remote))
-		for dst, targets := range remote {
-			d := Delivery{Targets: targets, Value: value, Mode: mode}
+		bcast := make(map[int]Delivery, len(dests))
+		for j := range dests {
+			d := Delivery{Targets: dests[j].targets, Value: value, Mode: mode}
 			if o != nil {
 				// One flow id per destination: each arrow pairs a single emit
 				// with the single inject on its receiving rank, even when the
 				// transport relays the value along a broadcast tree.
 				d.Flow = g.nextFlow()
 				o.Record(obs.Event{Kind: obs.EvFlowEmit, Worker: int32(worker), TT: -1,
-					Flow: d.Flow, Bytes: int64(dst)})
+					Flow: d.Flow, Bytes: int64(dests[j].rank)})
 			}
-			dests[dst] = d
+			bcast[dests[j].rank] = d
 		}
-		g.exec.Broadcast(dests)
+		g.exec.Broadcast(bcast)
 	}
 
 	tr := g.exec.Tracer()
@@ -157,7 +202,7 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 					}
 				}
 				if n > 1 {
-					h = newTracked(value, n, remote == nil)
+					h = newTracked(value, n, len(dests) == 0)
 				}
 			}
 		}
@@ -196,6 +241,19 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 			}
 		default: // SendCopy
 			v = serdeClone(value, tr)
+		}
+		if in.Reducer != nil && g.combines(lt.c.tt, lt.c.term) {
+			// Local pre-reduction: fold into the combiner slot instead of
+			// taking a match-table trip (and, for remote-bound streams,
+			// instead of sending this contribution on its own).
+			if t := g.foldLocal(lt.c.tt, lt.c.term, lt.key, v, worker); t != nil {
+				if first == nil {
+					first = t
+				} else {
+					extra = append(extra, t)
+				}
+			}
+			continue
 		}
 		if t := g.deliverLocal(lt.c.tt, lt.c.term, lt.key, v, worker); t != nil {
 			if first == nil {

@@ -193,8 +193,20 @@ func (g *Graph) routeControl(tt *TT, worker int, term int, key any, ctrl Control
 func (g *Graph) controlEdge(e *Edge, worker int, key any, ctrl ControlKind, n int) {
 	me := g.exec.Rank()
 	for _, cons := range e.consumers {
+		if ctrl == CtrlFinalize && g.combines(cons.tt, cons.term) {
+			panic(fmt.Sprintf("core: FinalizeStream on commutative terminal %d of TT %q: "+
+				"hierarchical reduction parks partials, so a finalize races them; "+
+				"close the stream by count (StreamSize or SetStreamSize) instead",
+				cons.term, cons.tt.name))
+		}
 		dst := cons.tt.keymap(key)
 		if dst == me {
+			if ctrl == CtrlSetSize {
+				// The control must land after the parked partial: a
+				// watermark comparison against a half-absorbed count would
+				// either fire early or leave the accumulator behind.
+				g.flushKeySlot(cons.tt, cons.term, key, worker)
+			}
 			if t := g.applyControl(cons.tt, cons.term, key, ctrl, n, worker); t != nil {
 				g.submitOne(t, worker)
 			}
@@ -282,11 +294,30 @@ func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
 	for _, tgt := range d.Targets {
 		tt := g.tts[tgt.TT]
 		for i, key := range tgt.Keys {
+			if d.Control == CtrlReduce {
+				// A child's partial: fold it into this rank's combiner slot
+				// (reduce.go). Values of later keys never alias — partials
+				// are always single-key deliveries.
+				if t := g.foldPartial(tt, tgt.Term, key, d.Value, d.N, -1); t != nil {
+					add(t)
+				}
+				continue
+			}
 			if d.Control != CtrlNone {
+				if d.Control == CtrlSetSize {
+					// As in controlEdge: absorb the parked partial before
+					// the stream length lands on the shell.
+					g.flushKeySlot(tt, tgt.Term, key, -1)
+				}
 				if t := g.applyControl(tt, tgt.Term, key, d.Control, d.N, -1); t != nil {
 					add(t)
 				}
 				continue
+			}
+			if tt.inputs[tgt.Term].Reducer != nil {
+				// The point-to-point baseline the reduce tree replaces: a
+				// remote data delivery landing on a streaming terminal.
+				g.exec.Tracer().RemoteReducerMsgs.Add(1)
 			}
 			var v any
 			switch {
@@ -339,6 +370,7 @@ func (g *Graph) deliverLocal(tt *TT, term int, key any, value any, worker int) *
 			g.folds.Add(1)
 		}
 	}
+	g.exec.Tracer().MatchOps.Add(1)
 	sp := tt.match.shard(key)
 	sp.mu.Lock()
 	sh := tt.getShellLocked(sp, key)
@@ -365,6 +397,11 @@ func (g *Graph) applyControl(tt *TT, term int, key any, ctrl ControlKind, n int,
 	if tt.inputs[term].Reducer == nil {
 		panic(fmt.Sprintf("core: stream control on non-streaming terminal %d of TT %q", term, tt.name))
 	}
+	if ctrl == CtrlFinalize && g.combines(tt, term) {
+		panic(fmt.Sprintf("core: FinalizeStream on commutative terminal %d of TT %q: "+
+			"close the stream by count (StreamSize or SetStreamSize) instead", term, tt.name))
+	}
+	g.exec.Tracer().MatchOps.Add(1)
 	sp := tt.match.shard(key)
 	sp.mu.Lock()
 	sh := tt.getShellLocked(sp, key)

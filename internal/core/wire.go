@@ -30,7 +30,7 @@ func EncodeHeader(b *serde.Buffer, d Delivery) {
 	if d.Flow != 0 {
 		b.PutUvarint(d.Flow)
 	}
-	if d.Control == CtrlSetSize {
+	if d.Control == CtrlSetSize || d.Control == CtrlReduce {
 		b.PutVarint(int64(d.N))
 	}
 	b.PutUvarint(uint64(len(d.Targets)))
@@ -54,7 +54,7 @@ func DecodeHeader(b *serde.Buffer) Delivery {
 	if c&headerFlowFlag != 0 {
 		d.Flow = b.Uvarint()
 	}
-	if d.Control == CtrlSetSize {
+	if d.Control == CtrlSetSize || d.Control == CtrlReduce {
 		d.N = int(b.Varint())
 	}
 	n := int(b.Uvarint())
@@ -77,7 +77,7 @@ func DecodeHeader(b *serde.Buffer) Delivery {
 // simulator's virtual message sizes.
 func HeaderWireSize(d Delivery) int {
 	n := 1
-	if d.Control == CtrlSetSize {
+	if d.Control == CtrlSetSize || d.Control == CtrlReduce {
 		n += 5
 	}
 	n += 2

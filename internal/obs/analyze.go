@@ -304,6 +304,16 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "data: copies=%d avoided=%d (%.0f%% avoidance)\n",
 			copies, avoided, 100*float64(avoided)/float64(copies+avoided))
 	}
+	rfolds := r.Metrics.Counters[CounterReduceLocalFolds]
+	rhops := r.Metrics.Counters[CounterReduceHops]
+	rsaved := r.Metrics.Counters[CounterReduceBytesSaved]
+	if rfolds+rhops > 0 {
+		// Each fold beyond a remote-bound slot's first contribution is one
+		// delivery the owner never received individually; tree hops are the
+		// partials that did travel, each covering a whole folded subtree.
+		fmt.Fprintf(&b, "reduce: local-folds=%d tree-hops=%d owner-inbound-bytes-avoided=%s\n",
+			rfolds, rhops, formatSI(rsaved))
+	}
 
 	if hs, ok := r.Metrics.Hists[HistMsgBytes]; ok && hs.Count > 0 {
 		fmt.Fprintf(&b, "msg size:   %s\n", hs)

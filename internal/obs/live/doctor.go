@@ -172,7 +172,11 @@ func (d *Doctor) observe() fingerprint {
 		}
 		if t.Graph != nil {
 			if g := t.Graph(); g != nil {
-				fp.pending += g.PendingTaskCount()
+				// Parked combiner partials count as pending work: a graph
+				// wedged with an unflushed partial (a commutative stream
+				// whose count never closes) has zero shells but must still
+				// trip stall detection.
+				fp.pending += g.PendingTaskCount() + g.PendingReductions()
 			}
 		}
 	}
@@ -244,14 +248,18 @@ func (d *Doctor) Diagnose() *StallReport {
 			continue
 		}
 		sampled, total := g.PendingTasks(max)
+		partials := g.PendingPartials(max)
+		nPart := g.PendingReductions()
 		var act int64
 		if t.Active != nil {
 			act = t.Active()
 		}
 		rep.Active += act
 		rep.Pending += total
-		if total > 0 {
-			rp := RankPending{Rank: t.Rank, Active: act, Total: total, Sampled: sampled}
+		rep.Partials += nPart
+		if total > 0 || nPart > 0 {
+			rp := RankPending{Rank: t.Rank, Active: act, Total: total, Sampled: sampled,
+				PartialCount: nPart, Partials: partials}
 			if t.Sched != nil {
 				s := t.Sched()
 				rp.Sched = &s
@@ -259,7 +267,7 @@ func (d *Doctor) Diagnose() *StallReport {
 			rep.Ranks = append(rep.Ranks, rp)
 		}
 	}
-	if rep.Pending == 0 {
+	if rep.Pending == 0 && rep.Partials == 0 {
 		return nil
 	}
 	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Rank < rep.Ranks[j].Rank })
@@ -274,6 +282,13 @@ type RankPending struct {
 	Total   int64 // all pending shells on this rank
 	Sampled []core.PendingTask
 	Sched   *SchedStats // scheduler fingerprint, nil without a pool
+	// PartialCount is how many combiner slots hold unflushed reduction
+	// partials on this rank; Partials samples them. A stall whose only
+	// pending work is partials usually means a commutative stream whose
+	// count never closes (missing SetStreamSize, or a contributor that
+	// never ran).
+	PartialCount int64
+	Partials     []core.PendingPartial
 }
 
 // BlameEdge aggregates the stalled shells missing the same input: "Count
@@ -293,6 +308,9 @@ type StallReport struct {
 	QuietFor time.Duration
 	Pending  int64
 	Active   int64
+	// Partials counts unflushed hierarchical-reduction partials across
+	// all ranks (combiner slots that never drained).
+	Partials int64
 	Ranks    []RankPending
 	Blames   []BlameEdge
 }
@@ -337,14 +355,25 @@ func (r *StallReport) aggregate() {
 // String renders the report in the shape `ttg-bench doctor` prints.
 func (r *StallReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "GRAPH STALL: %d pending task shell(s), no progress for %s (active=%d)\n",
+	fmt.Fprintf(&b, "GRAPH STALL: %d pending task shell(s), no progress for %s (active=%d",
 		r.Pending, r.QuietFor.Round(time.Millisecond), r.Active)
+	if r.Partials > 0 {
+		fmt.Fprintf(&b, ", unflushed reduction partials=%d", r.Partials)
+	}
+	b.WriteString(")\n")
 	for _, rp := range r.Ranks {
 		fmt.Fprintf(&b, "  rank %d: pending=%d active=%d", rp.Rank, rp.Total, rp.Active)
+		if rp.PartialCount > 0 {
+			fmt.Fprintf(&b, " partials=%d", rp.PartialCount)
+		}
 		if rp.Sched != nil {
 			fmt.Fprintf(&b, " sched[%s]", rp.Sched)
 		}
 		b.WriteString("\n")
+		for _, pp := range rp.Partials {
+			fmt.Fprintf(&b, "    unflushed partial: %s%s input %d, %d contribution(s) folded, owner rank %d — commutative stream never closed by count\n",
+				pp.TT, pp.Key, pp.Term, pp.Count, pp.Owner)
+		}
 		for _, pt := range rp.Sampled {
 			for _, mi := range pt.Missing {
 				fmt.Fprintf(&b, "    %s%s: missing input %d", pt.TT, pt.Key, mi.Term)

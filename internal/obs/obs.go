@@ -209,6 +209,20 @@ const (
 	GaugeTrackedValues = "data.tracked_live"
 	// GaugeTermdetActive is the termination detector's local activity level.
 	GaugeTermdetActive = "termdet.active"
+	// CounterReduceLocalFolds counts contributions folded into local
+	// combiner slots instead of taking a match-table trip (reduce.go).
+	CounterReduceLocalFolds = "reduce.local_folds"
+	// CounterReduceHops counts partial accumulators received and re-folded
+	// at interior ranks of the reduce tree (the owner's arrivals are the
+	// deliveries the tree exists to bound).
+	CounterReduceHops = "reduce.tree_hops"
+	// CounterReduceBytesSaved counts owner-inbound bytes avoided: payload
+	// folded into an already-parked remote-bound partial, so it reaches
+	// the owner inside one combined delivery instead of as its own.
+	CounterReduceBytesSaved = "reduce.bytes_saved"
+	// GaugePendingReductions tracks combiner slots holding unflushed
+	// partial accumulations (nonzero after a fence means lost input).
+	GaugePendingReductions = "reduce.pending_partials"
 )
 
 // Config sizes a Session.

@@ -25,6 +25,19 @@ type Collector struct {
 	TasksStolen      atomic.Int64
 	WirePackets      atomic.Int64 // physical fabric packets (post-coalescing)
 	CoalescedMsgs    atomic.Int64 // logical messages that shared a wire packet
+
+	// Hierarchical-reduction counters (core/reduce.go). MatchOps counts
+	// match-table shard-lock trips — the contention metric the local
+	// pre-reduction ablation is judged on; RemoteReducerMsgs counts the
+	// point-to-point baseline (a remote data delivery landing on a
+	// streaming terminal) that the reduce tree replaces.
+	MatchOps           atomic.Int64 // match-table shard lock acquisitions
+	ReduceLocalFolds   atomic.Int64 // contributions folded into combiner slots
+	ReducePartialsSent atomic.Int64 // partial accumulators sent up the reduce tree
+	ReduceHops         atomic.Int64 // partials received and re-folded at interior tree ranks
+	ReduceDeliveries   atomic.Int64 // partials received at the owning (root) rank
+	RemoteReducerMsgs  atomic.Int64 // point-to-point remote deliveries onto streaming terminals
+	ReduceBytesSaved   atomic.Int64 // owner-inbound bytes avoided: payload merged into a parked remote-bound partial
 }
 
 // Snapshot is an immutable copy of a Collector's counters.
@@ -42,6 +55,14 @@ type Snapshot struct {
 	TasksStolen      int64
 	WirePackets      int64
 	CoalescedMsgs    int64
+
+	MatchOps           int64
+	ReduceLocalFolds   int64
+	ReducePartialsSent int64
+	ReduceHops         int64
+	ReduceDeliveries   int64
+	RemoteReducerMsgs  int64
+	ReduceBytesSaved   int64
 }
 
 // Snapshot captures the current counter values.
@@ -60,6 +81,14 @@ func (c *Collector) Snapshot() Snapshot {
 		TasksStolen:      c.TasksStolen.Load(),
 		WirePackets:      c.WirePackets.Load(),
 		CoalescedMsgs:    c.CoalescedMsgs.Load(),
+
+		MatchOps:           c.MatchOps.Load(),
+		ReduceLocalFolds:   c.ReduceLocalFolds.Load(),
+		ReducePartialsSent: c.ReducePartialsSent.Load(),
+		ReduceHops:         c.ReduceHops.Load(),
+		ReduceDeliveries:   c.ReduceDeliveries.Load(),
+		RemoteReducerMsgs:  c.RemoteReducerMsgs.Load(),
+		ReduceBytesSaved:   c.ReduceBytesSaved.Load(),
 	}
 }
 
@@ -80,14 +109,24 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		TasksStolen:      s.TasksStolen + o.TasksStolen,
 		WirePackets:      s.WirePackets + o.WirePackets,
 		CoalescedMsgs:    s.CoalescedMsgs + o.CoalescedMsgs,
+
+		MatchOps:           s.MatchOps + o.MatchOps,
+		ReduceLocalFolds:   s.ReduceLocalFolds + o.ReduceLocalFolds,
+		ReducePartialsSent: s.ReducePartialsSent + o.ReducePartialsSent,
+		ReduceHops:         s.ReduceHops + o.ReduceHops,
+		ReduceDeliveries:   s.ReduceDeliveries + o.ReduceDeliveries,
+		RemoteReducerMsgs:  s.RemoteReducerMsgs + o.RemoteReducerMsgs,
+		ReduceBytesSaved:   s.ReduceBytesSaved + o.ReduceBytesSaved,
 	}
 }
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"tasks=%d msgs=%d/%d bytes=%d/%d pkts=%d coalesced=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d",
+		"tasks=%d msgs=%d/%d bytes=%d/%d pkts=%d coalesced=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d matchops=%d folds=%d partials=%d hops=%d rdeliv=%d rptp=%d rbytes-saved=%d",
 		s.TasksExecuted, s.MsgsSent, s.MsgsReceived, s.BytesSent, s.BytesReceived,
 		s.WirePackets, s.CoalescedMsgs,
 		s.DataCopies, s.CopiesAvoided, s.SplitMDTransfers, s.ArchiveTransfers,
-		s.BcastsForwarded, s.TasksStolen)
+		s.BcastsForwarded, s.TasksStolen,
+		s.MatchOps, s.ReduceLocalFolds, s.ReducePartialsSent, s.ReduceHops,
+		s.ReduceDeliveries, s.RemoteReducerMsgs, s.ReduceBytesSaved)
 }

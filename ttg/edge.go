@@ -55,6 +55,24 @@ func (in In[K, V]) ReadWrite() In[K, V] {
 	return in
 }
 
+// Commutative declares that this streaming terminal's reducer is
+// associative AND commutative, opting it into hierarchical reduction:
+// same-rank contributions fold into a local combiner without a match-table
+// trip, and remote-bound streams forward one partial up a binomial reduce
+// tree instead of one message per contribution. The runtime may therefore
+// apply the reducer in ANY order and grouping — the fold result must not
+// depend on arrival order (floating-point summation accepts the usual
+// reassociation rounding under this hint).
+//
+// A commutative stream must close by count: declare a size func in
+// ReduceInput or announce one with SetStreamSize. FinalizeStream panics —
+// an order-based close cannot be made coherent with partials parked on
+// other ranks. Only meaningful on ReduceInput terminals.
+func (in In[K, V]) Commutative() In[K, V] {
+	in.spec.Commutative = true
+	return in
+}
+
 // ConstInput is shorthand for Input(e).ReadOnly().
 func ConstInput[K comparable, V any](e Edge[K, V]) In[K, V] {
 	return Input(e).ReadOnly()
