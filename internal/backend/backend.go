@@ -33,9 +33,10 @@ const (
 	kSplit                       // splitmd phase 1: header + metadata + RMA handle
 	kSplitAck                    // splitmd completion: release the source region
 	kBcast                       // tree broadcast: plan + inline value (small payloads)
-	kCoal                        // coalesced frame: run of [kind u8][kData/kSplit message]
+	kCoal                        // coalesced frame: run of [kind u8][kData/kSplit/kGatherData message]
 	kBcastHdr                    // pipelined broadcast: plan + payload geometry
 	kBcastChunk                  // pipelined broadcast: one payload chunk
+	kGatherData                  // zero-copy data: header + gather header, payload as by-reference segments
 )
 
 // Options configure the engine; the named backends provide presets.
@@ -73,6 +74,14 @@ type Options struct {
 	// Zero means the 128 KiB default; negative disables pipelining
 	// (store-and-forward of the whole payload at each hop).
 	BcastChunk int
+	// GatherThreshold is the wire size (bytes) at which point-to-point
+	// deliveries of gather-capable values take the zero-copy path (header
+	// encoded, payload shipped as by-reference segments) instead of
+	// copy-encoding. Zero means the serde default (1 KiB, adjustable via
+	// serde.SetGatherThreshold); negative disables gather sends on this
+	// runtime. Resolved per send, so ablation toggles take effect on a
+	// running backend.
+	GatherThreshold int
 	// Net configures latency/bandwidth of the virtual fabric.
 	Net simnet.Config
 	// Obs, when non-nil, enables structured observability: every rank
@@ -380,28 +389,103 @@ func (p *Proc) SubmitBatch(ts []*core.Task) {
 }
 
 // Deliver implements core.Executor: one delivery to one remote rank.
+// Value-bearing deliveries pick a transport in preference order: splitmd
+// rendezvous (large values with splitmd traits, when the backend supports
+// it), the zero-copy gather path (gather-capable codecs above the gather
+// floor), then eager copy-encode.
 func (p *Proc) Deliver(dest int, d core.Delivery) {
 	if dest == p.rank {
 		panic("backend: Deliver to self")
 	}
-	if (d.Control == core.CtrlNone || d.Control == core.CtrlReduce) && p.rt.opts.SplitMD {
-		if _, ok := serde.SplitMDFor(d.Value); ok && serde.WireSizeAny(d.Value) >= p.rt.opts.EagerThreshold {
+	hasValue := d.Control == core.CtrlNone || d.Control == core.CtrlReduce
+	var enc *serde.Cached
+	if hasValue {
+		// The edge-resolved codec rides the delivery; fall back to the
+		// registry when absent (control paths, reduce partials) or when
+		// the edge's cache doesn't match this value's type.
+		enc = d.Codec
+		if enc == nil || !enc.For(d.Value) {
+			enc = serde.LookupCached(d.Value)
+		}
+	}
+	if hasValue && p.rt.opts.SplitMD {
+		if _, ok := serde.SplitMDFor(d.Value); ok && enc.WireSizeAny(d.Value) >= p.rt.opts.EagerThreshold {
 			p.deliverSplit(dest, d)
 			return
 		}
 	}
+	if hasValue && serde.GatherSendsEnabled() {
+		if g, ok := enc.Gatherer(); ok {
+			if min := p.gatherMin(); min > 0 && enc.WireSizeAny(d.Value) >= min {
+				if p.deliverGather(dest, d, enc, g) {
+					return
+				}
+			}
+		}
+	}
 	b := serde.GetBuffer(256)
 	core.EncodeHeader(b, d)
-	hasValue := d.Control == core.CtrlNone || d.Control == core.CtrlReduce
 	b.PutBool(hasValue)
 	if hasValue {
-		serde.EncodeAny(b, d.Value)
+		enc.EncodeAny(b, d.Value)
 		p.tr.ArchiveTransfers.Add(1)
+		p.tr.CopySends.Add(1)
 		if p.eagerSends != nil {
 			p.eagerSends.Add(1)
 		}
 	}
 	p.enqueue(dest, kData, b)
+}
+
+// gatherMin resolves the effective gather floor: the backend option when
+// set (negative disables), the serde default otherwise.
+func (p *Proc) gatherMin() int {
+	if t := p.rt.opts.GatherThreshold; t != 0 {
+		return t
+	}
+	return serde.DefaultGatherThreshold()
+}
+
+// deliverGather ships d over the zero-copy path: the delivery header and
+// the codec's small gather header travel framed, the payload travels as
+// by-reference segments the fabric never copies. Returns false — leaving
+// no trace on the wire or in the counters — when the codec declines this
+// value (e.g. phantom tiles), in which case the caller copy-encodes.
+//
+// Alias safety: unless core marked the value as the transport's own
+// (OwnsValue: a moved value with a single remote destination and no local
+// consumers), the segments are snapshotted into pooled memory first — one
+// memcpy, still cheaper than the encode+decode pair it replaces — so the
+// sender may keep mutating its copy.
+func (p *Proc) deliverGather(dest int, d core.Delivery, enc *serde.Cached, g serde.Gatherer) bool {
+	hdr := serde.GetBuffer(64)
+	segs, ok := g.Segments(hdr, d.Value)
+	if !ok {
+		hdr.Release()
+		return false
+	}
+	if !d.OwnsValue {
+		for i := range segs {
+			if segs[i].F64 != nil {
+				segs[i].F64 = pool.CloneFloat64s(segs[i].F64)
+			} else {
+				segs[i].B = pool.CloneBytes(segs[i].B)
+			}
+		}
+	}
+	b := serde.GetBuffer(256)
+	core.EncodeHeader(b, d)
+	b.PutUvarint(uint64(enc.Tag()))
+	b.PutBytes(hdr.Bytes())
+	b.PutUvarint(uint64(len(segs)))
+	hdr.Release()
+	p.tr.GatherSends.Add(1)
+	p.tr.BytesZeroCopied.Add(int64(serde.SegmentBytes(segs)))
+	if p.eagerSends != nil {
+		p.eagerSends.Add(1)
+	}
+	p.enqueueSegs(dest, b, segs)
+	return true
 }
 
 // deliverSplit performs splitmd phase 1: eager metadata plus an RMA handle
@@ -455,6 +539,20 @@ func (p *Proc) enqueue(dest int, kind uint8, b *serde.Buffer) {
 	p.sendWire(dest, kind, b.Detach())
 }
 
+// enqueueSegs is enqueue for a gather message: the framed part (owned
+// buffer b) plus its by-reference payload segments. The segment bytes
+// count toward the coalescing threshold — a frame's wire occupancy is
+// header bytes plus everything shipped alongside it.
+func (p *Proc) enqueueSegs(dest int, b *serde.Buffer, segs []serde.Segment) {
+	total := b.Len() + serde.SegmentBytes(segs)
+	p.countSent(total)
+	if p.coal != nil && total < p.coal.maxBytes {
+		p.coal.addSegs(dest, kGatherData, b, segs)
+		return
+	}
+	p.sendWireSegs(dest, kGatherData, b.Detach(), segs)
+}
+
 // sendDirect is enqueue for broadcast traffic, which bypasses coalescing:
 // its packets carry arrays shared across receivers and are forwarded
 // verbatim down the tree, so they must map one-to-one onto wire packets.
@@ -475,24 +573,34 @@ func (p *Proc) countSent(n int) {
 }
 
 // flushFrame ships one coalesced frame of n messages (called by the
-// aggregator with ownership of the frame buffer).
-func (p *Proc) flushFrame(dest int, frame *serde.Buffer, n int) {
+// aggregator with ownership of the frame buffer and the segment list:
+// the by-reference payloads of the frame's gather sub-messages, in
+// sub-message order).
+func (p *Proc) flushFrame(dest int, frame *serde.Buffer, n int, segs []serde.Segment) {
 	p.tr.CoalescedMsgs.Add(int64(n))
 	if p.coalBatch != nil {
 		p.coalBatch.Observe(int64(n))
 	}
-	p.sendWire(dest, kCoal, frame.Detach())
+	p.sendWireSegs(dest, kCoal, frame.Detach(), segs)
 }
 
 // sendWire puts one physical packet on the fabric.
 func (p *Proc) sendWire(dest int, kind uint8, data []byte) {
+	p.sendWireSegs(dest, kind, data, nil)
+}
+
+// sendWireSegs puts one physical packet — framed bytes plus by-reference
+// payload segments — on the fabric. Wire accounting charges the full
+// size: a zero-copy payload occupies the link exactly like its bytes.
+func (p *Proc) sendWireSegs(dest int, kind uint8, data []byte, segs []serde.Segment) {
+	n := len(data) + serde.SegmentBytes(segs)
 	p.tr.WirePackets.Add(1)
-	p.tr.BytesSent.Add(int64(len(data)))
+	p.tr.BytesSent.Add(int64(n))
 	if p.wirePkts != nil {
 		p.wirePkts.Add(1)
-		p.wireBytes.Add(int64(len(data)))
+		p.wireBytes.Add(int64(n))
 	}
-	p.ep.Send(dest, kind, data)
+	p.ep.SendSegs(dest, kind, data, segs)
 }
 
 // commLoop is the rank's communication thread (the MADNESS-model's
@@ -541,11 +649,30 @@ func (p *Proc) commLoop() {
 			p.recordDeliver(len(pkt.Data))
 			p.startSplitFetch(serde.FromBytes(pkt.Data), pkt.Src)
 			serde.Recycle(pkt.Data)
+		case kGatherData:
+			<-p.ready
+			p.det.Activate()
+			p.det.MsgReceived()
+			p.tr.MsgsReceived.Add(1)
+			n := len(pkt.Data) + serde.SegmentBytes(pkt.Segs)
+			p.tr.BytesReceived.Add(int64(n))
+			p.recordDeliver(n)
+			d, _ := p.decodeGather(serde.FromBytes(pkt.Data), pkt.Segs)
+			p.graph.Inject(d)
+			if d.Control == core.CtrlReduce {
+				p.flushSends()
+			}
+			p.det.Deactivate()
+			// Only the framed header lived in the wire buffer — the
+			// payload segments now belong to the scattered value — so the
+			// header bytes are dead here.
+			serde.Recycle(pkt.Data)
 		case kCoal:
 			<-p.ready
-			p.tr.BytesReceived.Add(int64(len(pkt.Data)))
-			p.recordDeliver(len(pkt.Data))
-			p.handleCoal(pkt.Data, pkt.Src)
+			n := len(pkt.Data) + serde.SegmentBytes(pkt.Segs)
+			p.tr.BytesReceived.Add(int64(n))
+			p.recordDeliver(n)
+			p.handleCoal(pkt.Data, pkt.Segs, pkt.Src)
 			serde.Recycle(pkt.Data)
 		case kSplitAck:
 			h, _ := simnet.DecodeHandle(pkt.Data)
@@ -593,7 +720,7 @@ func (p *Proc) commLoop() {
 // as one batch (a single matcher pass per shard and one scheduler wakeup
 // for the whole frame), while splitmd sub-messages launch their payload
 // fetches immediately.
-func (p *Proc) handleCoal(data []byte, src int) {
+func (p *Proc) handleCoal(data []byte, segs []serde.Segment, src int) {
 	b := serde.FromBytes(data)
 	var dels []core.Delivery
 	for b.Remaining() > 0 {
@@ -608,6 +735,12 @@ func (p *Proc) handleCoal(data []byte, src int) {
 				d.Value = serde.DecodeAny(b)
 				d.Exclusive = true
 			}
+			dels = append(dels, d)
+		case kGatherData:
+			// Gather sub-messages consume the frame's segment list in
+			// sub-message order (the cursor is the returned tail).
+			var d core.Delivery
+			d, segs = p.decodeGather(b, segs)
 			dels = append(dels, d)
 		case kSplit:
 			p.startSplitFetch(b, src) // deactivates when the fetch lands
@@ -629,6 +762,32 @@ func (p *Proc) handleCoal(data []byte, src int) {
 			p.det.Deactivate()
 		}
 	}
+}
+
+// decodeGather reads one gather message from b (delivery header, codec
+// tag, gather header, segment count), consuming its payload segments from
+// the front of segs; it returns the delivery and the remaining segments.
+// The scattered value is decoded as a view: it owns — and typically
+// aliases — the segment memory, so no payload copy happens here. The
+// gather header is consumed synchronously (codecs must not retain it), so
+// the caller may recycle the wire buffer afterwards.
+func (p *Proc) decodeGather(b *serde.Buffer, segs []serde.Segment) (core.Delivery, []serde.Segment) {
+	d := core.DecodeHeader(b)
+	tag := uint32(b.Uvarint())
+	hdrLen := int(b.Uvarint())
+	hdr := serde.FromBytes(b.RawOut(hdrLen))
+	nsegs := int(b.Uvarint())
+	g, ok := serde.GathererByTag(tag)
+	if !ok {
+		panic(fmt.Sprintf("backend: wire tag %d has no gather codec", tag))
+	}
+	d.Value = g.Scatter(hdr, segs[:nsegs])
+	// Like a deserialized eager value: the runtime owns the object (and
+	// with it the pooled payload the view aliases) until the last
+	// consumer is done.
+	d.Exclusive = true
+	p.tr.ViewDecodes.Add(1)
+	return d, segs[nsegs:]
 }
 
 // startSplitFetch reads a splitmd phase-1 message from b and launches phase

@@ -16,8 +16,12 @@ import (
 // termination detection.
 //
 // Frame layout: a self-delimiting run of [kind u8][encoded message], where
-// kind is the sub-message's native wire kind (kData or kSplit) and the
-// message bytes are exactly what the uncoalesced packet would have carried.
+// kind is the sub-message's native wire kind (kData, kSplit, or
+// kGatherData) and the message bytes are exactly what the uncoalesced
+// packet would have carried. Gather sub-messages keep only their headers
+// in the frame; their payloads ride the packet as by-reference segments,
+// ordered by sub-message — the receive side walks the frame with a
+// segment cursor.
 type coalescer struct {
 	p        *Proc
 	maxBytes int
@@ -36,6 +40,12 @@ type peerBuf struct {
 	mu    sync.Mutex
 	buf   *serde.Buffer // nil when no messages are pending
 	count int
+	// segs collects the by-reference payload segments of the frame's
+	// gather sub-messages, in sub-message order; segBytes is their total
+	// wire size (it counts toward the frame's flush threshold, since the
+	// packet occupies the link for header + segment bytes).
+	segs     []serde.Segment
+	segBytes int
 }
 
 func newCoalescer(p *Proc, ranks, maxBytes, maxCount int) *coalescer {
@@ -48,28 +58,40 @@ func newCoalescer(p *Proc, ranks, maxBytes, maxCount int) *coalescer {
 // happens outside the peer lock so concurrent senders to the same rank
 // only contend for the memcpy.
 func (c *coalescer) add(dest int, kind uint8, b *serde.Buffer) {
+	c.addSegs(dest, kind, b, nil)
+}
+
+// addSegs is add for gather messages: b holds the framed headers, segs
+// the by-reference payload. Segment bytes count toward the byte
+// threshold so a frame's wire occupancy, not just its header run,
+// bounds the batching latency.
+func (c *coalescer) addSegs(dest int, kind uint8, b *serde.Buffer, segs []serde.Segment) {
 	pb := &c.peers[dest]
+	sb := serde.SegmentBytes(segs)
 	pb.mu.Lock()
 	if pb.buf == nil {
 		pb.buf = serde.GetBuffer(c.maxBytes + 64)
 	}
 	pb.buf.PutU8(kind)
 	pb.buf.PutRaw(b.Bytes())
+	pb.segs = append(pb.segs, segs...)
+	pb.segBytes += sb
 	pb.count++
-	c.queuedBytes.Add(int64(1 + len(b.Bytes())))
+	c.queuedBytes.Add(int64(1 + len(b.Bytes()) + sb))
 	c.queuedMsgs.Add(1)
 	var out *serde.Buffer
-	var n int
-	if pb.buf.Len() >= c.maxBytes || pb.count >= c.maxCount {
-		out, n = pb.buf, pb.count
-		pb.buf, pb.count = nil, 0
+	var outSegs []serde.Segment
+	var n, outSB int
+	if pb.buf.Len()+pb.segBytes >= c.maxBytes || pb.count >= c.maxCount {
+		out, outSegs, n, outSB = pb.buf, pb.segs, pb.count, pb.segBytes
+		pb.buf, pb.segs, pb.count, pb.segBytes = nil, nil, 0, 0
 	}
 	pb.mu.Unlock()
 	b.Release()
 	if out != nil {
-		c.queuedBytes.Add(int64(-out.Len()))
+		c.queuedBytes.Add(int64(-(out.Len() + outSB)))
 		c.queuedMsgs.Add(int64(-n))
-		c.p.flushFrame(dest, out, n)
+		c.p.flushFrame(dest, out, n, outSegs)
 	}
 }
 
@@ -77,13 +99,13 @@ func (c *coalescer) add(dest int, kind uint8, b *serde.Buffer) {
 func (c *coalescer) flush(dest int) {
 	pb := &c.peers[dest]
 	pb.mu.Lock()
-	out, n := pb.buf, pb.count
-	pb.buf, pb.count = nil, 0
+	out, outSegs, n, outSB := pb.buf, pb.segs, pb.count, pb.segBytes
+	pb.buf, pb.segs, pb.count, pb.segBytes = nil, nil, 0, 0
 	pb.mu.Unlock()
 	if out != nil {
-		c.queuedBytes.Add(int64(-out.Len()))
+		c.queuedBytes.Add(int64(-(out.Len() + outSB)))
 		c.queuedMsgs.Add(int64(-n))
-		c.p.flushFrame(dest, out, n)
+		c.p.flushFrame(dest, out, n, outSegs)
 	}
 }
 

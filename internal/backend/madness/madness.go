@@ -23,6 +23,10 @@ type Config struct {
 	CoalesceBytes int
 	// CoalesceCount caps messages per coalesced frame (0 default).
 	CoalesceCount int
+	// GatherThreshold is the minimum wire size for the zero-copy gather
+	// path (0 uses the serde default, negative disables gather sends for
+	// this runtime).
+	GatherThreshold int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
 	// Obs, when non-nil, enables structured event recording and metrics.
@@ -32,15 +36,16 @@ type Config struct {
 // New builds a MADNESS-model runtime over ranks virtual processes.
 func New(ranks int, cfg Config) *backend.Runtime {
 	return backend.New(ranks, backend.Options{
-		Name:           "madness",
-		WorkersPerRank: cfg.WorkersPerRank,
-		Policy:         sched.PolicyFIFO,
-		TracksData:     false,
-		SplitMD:        false,
-		TreeBroadcast:  false,
-		CoalesceBytes:  cfg.CoalesceBytes,
-		CoalesceCount:  cfg.CoalesceCount,
-		Net:            cfg.Net,
-		Obs:            cfg.Obs,
+		Name:            "madness",
+		WorkersPerRank:  cfg.WorkersPerRank,
+		Policy:          sched.PolicyFIFO,
+		TracksData:      false,
+		SplitMD:         false,
+		TreeBroadcast:   false,
+		CoalesceBytes:   cfg.CoalesceBytes,
+		CoalesceCount:   cfg.CoalesceCount,
+		GatherThreshold: cfg.GatherThreshold,
+		Net:             cfg.Net,
+		Obs:             cfg.Obs,
 	})
 }

@@ -27,6 +27,10 @@ type Config struct {
 	HasPolicy bool
 	// EagerThreshold is the splitmd switch-over size in bytes.
 	EagerThreshold int
+	// GatherThreshold is the minimum wire size for the zero-copy gather
+	// path (0 uses the serde default, negative disables gather sends for
+	// this runtime).
+	GatherThreshold int
 	// CoalesceBytes sizes the per-peer send-aggregation frame (0 default,
 	// negative disables coalescing).
 	CoalesceBytes int
@@ -48,17 +52,18 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		pol = cfg.Policy
 	}
 	return backend.New(ranks, backend.Options{
-		Name:           "parsec",
-		WorkersPerRank: cfg.WorkersPerRank,
-		Policy:         pol,
-		TracksData:     true,
-		SplitMD:        true,
-		TreeBroadcast:  true,
-		EagerThreshold: cfg.EagerThreshold,
-		CoalesceBytes:  cfg.CoalesceBytes,
-		CoalesceCount:  cfg.CoalesceCount,
-		BcastChunk:     cfg.BcastChunk,
-		Net:            cfg.Net,
-		Obs:            cfg.Obs,
+		Name:            "parsec",
+		WorkersPerRank:  cfg.WorkersPerRank,
+		Policy:          pol,
+		TracksData:      true,
+		SplitMD:         true,
+		TreeBroadcast:   true,
+		EagerThreshold:  cfg.EagerThreshold,
+		GatherThreshold: cfg.GatherThreshold,
+		CoalesceBytes:   cfg.CoalesceBytes,
+		CoalesceCount:   cfg.CoalesceCount,
+		BcastChunk:      cfg.BcastChunk,
+		Net:             cfg.Net,
+		Obs:             cfg.Obs,
 	})
 }

@@ -422,13 +422,32 @@ func (p *Proc) complete(t *core.Task) {
 }
 
 // valueBytes estimates the wire size of a delivery. Data deliveries and
-// reduce-tree partials carry a value; pure controls are header-only.
+// reduce-tree partials carry a value; pure controls are header-only. The
+// delivery's devirtualized codec handle sizes the value without a registry
+// map hit when it still matches the dynamic type.
 func valueBytes(d core.Delivery) int {
 	n := core.HeaderWireSize(d)
 	if (d.Control == core.CtrlNone || d.Control == core.CtrlReduce) && d.Value != nil {
-		n += serde.WireSizeAny(d.Value)
+		if c := d.Codec; c != nil && c.For(d.Value) {
+			n += c.WireSizeAny(d.Value)
+		} else {
+			n += serde.WireSizeAny(d.Value)
+		}
 	}
 	return n
+}
+
+// gatherable reports whether the delivery's codec opts into the gather
+// protocol. Capability is checked by codec type only — sim payloads are
+// phantoms, so Segments is never called; the cost model charges what a
+// real payload of the declared shape would cost on the zero-copy path.
+func gatherable(d core.Delivery) bool {
+	if c := d.Codec; c != nil && c.For(d.Value) {
+		_, ok := c.Gatherer()
+		return ok
+	}
+	_, ok := serde.GathererFor(d.Value)
+	return ok
 }
 
 // Deliver implements core.Executor: schedule the message through the
@@ -495,9 +514,41 @@ func (p *Proc) deliver(dest int, d core.Delivery) {
 		return
 	}
 
+	hasValue := (d.Control == core.CtrlNone || d.Control == core.CtrlReduce) && d.Value != nil
+
+	// Zero-copy gather path: a gather-capable payload at or above the floor
+	// ships its encoded header through the normal eager machinery but the
+	// payload by reference. The sender pays one snapshot memcpy only when it
+	// retains the value (!OwnsValue); the receiver decodes a view over the
+	// landed segments, so the deserialize copy disappears entirely.
+	if !useSplit && hasValue && serde.GatherSendsEnabled() && gatherable(d) {
+		if total := valueBytes(d); total >= serde.DefaultGatherThreshold() {
+			p.tr.BytesSent.Add(int64(total))
+			p.tr.GatherSends.Add(1)
+			p.tr.BytesZeroCopied.Add(int64(total - core.HeaderWireSize(d)))
+			snap := 0.0
+			if !d.OwnsValue {
+				snap = float64(total) / m.CopyBandwidth
+			}
+			depart := maxf(now, p.nicFreeAt)
+			p.nicFreeAt = depart + snap + float64(total)/bw
+			arrive := p.nicFreeAt + m.Latency
+			eng.At(arrive-now, func() {
+				procStart := maxf(eng.Now(), q.recvFreeAt)
+				procEnd := procStart + fl.MsgOverhead
+				q.recvFreeAt = procEnd
+				eng.At(procEnd-eng.Now(), func() { q.inject(d) })
+			})
+			return
+		}
+	}
+
 	// Eager archive path: serialize (copy), transfer, deserialize (copy).
 	total := valueBytes(d)
 	p.tr.BytesSent.Add(int64(total))
+	if hasValue {
+		p.tr.CopySends.Add(1)
+	}
 	if d.Control == core.CtrlNone || d.Control == core.CtrlReduce {
 		p.tr.ArchiveTransfers.Add(1)
 	}

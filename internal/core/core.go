@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serde"
 	"repro/internal/trace"
 )
 
@@ -83,6 +84,17 @@ type Delivery struct {
 	// nonzero ids are unique per remote delivery and ride the wire header
 	// behind a flag bit, so untraced runs pay no wire bytes.
 	Flow uint64
+	// Codec is the devirtualized codec for Value's type, resolved once per
+	// edge and handed to the transport so steady-state sends skip the
+	// registry map lookup. Not wire-encoded; may be nil (transports fall
+	// back to the registry) and must be revalidated with Codec.For(Value)
+	// before use — an edge can in principle carry mixed types.
+	Codec *serde.Cached
+	// OwnsValue marks Value as exclusively the transport's after this
+	// call: a moved value with no local consumers and a single remote
+	// destination. A gathering transport may then ship payload segments
+	// by reference without snapshotting them. Not wire-encoded.
+	OwnsValue bool
 }
 
 // Executor is the contract a runtime backend provides to a graph.
@@ -131,6 +143,23 @@ type Edge struct {
 	// AddTT from TTSpec.Outputs); the graph doctor uses it to blame the
 	// template that should have produced a missing input.
 	producers []consumer
+	// codec caches the devirtualized serde lookup for the edge's value
+	// type. An edge's type is fixed after its first send in practice, so
+	// steady state replaces the RWMutex-guarded registry map hit with one
+	// atomic load and a reflect.TypeOf pointer compare.
+	codec atomic.Pointer[serde.Cached]
+}
+
+// codecFor returns the cached codec for v, resolving and caching it on
+// first use (or when the edge's value type changes, which only tests do).
+// Panics with *serde.ErrUnregistered for unregistered types.
+func (e *Edge) codecFor(v any) *serde.Cached {
+	if c := e.codec.Load(); c != nil && c.For(v) {
+		return c
+	}
+	c := serde.LookupCached(v)
+	e.codec.Store(c)
+	return c
 }
 
 type consumer struct {
@@ -260,6 +289,16 @@ type Graph struct {
 	pubRFolds      int64
 	pubRHops       int64
 	pubRSaved      int64
+
+	// Zero-copy wire-path counters, mirrored the same way.
+	gatherSends    *obs.Counter
+	copySends      *obs.Counter
+	viewDecodes    *obs.Counter
+	bytesZeroCopy  *obs.Counter
+	pubGather      int64
+	pubCopySends   int64
+	pubViewDecodes int64
+	pubZeroCopied  int64
 }
 
 // reductionBuffering is the optional Executor interface a backend
@@ -295,6 +334,10 @@ func NewGraph(exec Executor) *Graph {
 		g.reduceHops = m.Counter(obs.CounterReduceHops)
 		g.reduceSaved = m.Counter(obs.CounterReduceBytesSaved)
 		g.pendingReduces = m.Gauge(obs.GaugePendingReductions)
+		g.gatherSends = m.Counter(obs.CounterGatherSends)
+		g.copySends = m.Counter(obs.CounterCopySends)
+		g.viewDecodes = m.Counter(obs.CounterViewDecodes)
+		g.bytesZeroCopy = m.Counter(obs.CounterBytesZeroCopied)
 	}
 	return g
 }
@@ -416,6 +459,22 @@ func (g *Graph) publishDataMetrics() {
 	if b := tr.ReduceBytesSaved.Load(); b > g.pubRSaved {
 		g.reduceSaved.Add(b - g.pubRSaved)
 		g.pubRSaved = b
+	}
+	if v := tr.GatherSends.Load(); v > g.pubGather {
+		g.gatherSends.Add(v - g.pubGather)
+		g.pubGather = v
+	}
+	if v := tr.CopySends.Load(); v > g.pubCopySends {
+		g.copySends.Add(v - g.pubCopySends)
+		g.pubCopySends = v
+	}
+	if v := tr.ViewDecodes.Load(); v > g.pubViewDecodes {
+		g.viewDecodes.Add(v - g.pubViewDecodes)
+		g.pubViewDecodes = v
+	}
+	if v := tr.BytesZeroCopied.Load(); v > g.pubZeroCopied {
+		g.bytesZeroCopy.Add(v - g.pubZeroCopied)
+		g.pubZeroCopied = v
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pool"
+	"repro/internal/serde"
 )
 
 // Runtime-owned data lifetimes. The paper's reworked PaRSEC backend lets
@@ -96,6 +97,18 @@ func newTracked(value any, refs int, reclaim bool) *tracked {
 	return h
 }
 
+// endViewLease retires the recv-view ledger entry of a view-decoded value
+// at the moment the runtime stops being responsible for its payload
+// memory — the value is reclaimed, consumed by a fold, or handed to the
+// application outright. Safe (and a no-op) on any other value; ViewLease
+// implementations are idempotent, so overlapping lifecycle paths may both
+// call it.
+func endViewLease(v any) {
+	if vl, ok := v.(serde.ViewLease); ok {
+		vl.EndViewLease()
+	}
+}
+
 // drop releases one reference; the last drop of a runtime-owned value
 // returns pooled payloads to their pool. Consumers that took the value in
 // place (CAS 1→0) own it outright and never call drop.
@@ -104,9 +117,15 @@ func (h *tracked) drop() {
 		liveTracked.Add(-1)
 		if h.reclaim && !h.escaped.Load() {
 			if r, ok := h.value.(pool.Releasable); ok {
+				// Release retires any recv-view lease itself.
 				r.Release()
+				return
 			}
 		}
+		// Escaped or non-releasable values are left to the GC, but a
+		// recv-view lease on them still ends: the runtime no longer
+		// accounts for the aliased buffer.
+		endViewLease(h.value)
 	}
 }
 
@@ -118,6 +137,10 @@ func (t *Task) materialize() {
 	for i := range t.Inputs {
 		h, ok := t.Inputs[i].(*tracked)
 		if !ok {
+			// A raw input is handed to the body outright; any recv-view
+			// lease on it ends here (from now on the application, not the
+			// runtime, decides the payload buffer's lifetime).
+			endViewLease(t.Inputs[i])
 			continue
 		}
 		tr := t.TT.g.exec.Tracer()
@@ -128,9 +151,11 @@ func (t *Task) materialize() {
 			tr.CopiesAvoided.Add(1)
 		} else if h.refs.CompareAndSwap(1, 0) {
 			// Sole live reference: the exclusive consumer takes the value
-			// in place and owns it from here on (never reclaimed).
+			// in place and owns it from here on (never reclaimed); a
+			// recv-view lease transfers to the application with it.
 			t.Inputs[i] = h.value
 			liveTracked.Add(-1)
+			endViewLease(h.value)
 			tr.CopiesAvoided.Add(1)
 		} else {
 			// Copy-on-write: other consumers still read the value, so this

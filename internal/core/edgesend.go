@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"repro/internal/obs"
+	"repro/internal/serde"
+)
 
 // Edge-addressed send operations. Routing in TTG needs only the edge (its
 // consumer terminals define the destinations); the numbered-terminal
@@ -130,8 +133,36 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 		}
 	}
 
+	tr := g.exec.Tracer()
+
+	// codec resolves the edge's devirtualized codec lazily on first need
+	// (remote delivery or a local deep copy): purely-local borrow/move
+	// sends never touch the registry, so unregistered local-only types
+	// keep working. All edges of one send carry the same value, so the
+	// first edge's cache serves the whole call.
+	var cc *serde.Cached
+	codec := func() *serde.Cached {
+		if cc == nil {
+			cc = edges[0].codecFor(value)
+		}
+		return cc
+	}
+	// clone deep-copies the value for a local consumer through the cached
+	// codec, skipping the registry map hit of serde.CloneAny.
+	clone := func() any {
+		tr.DataCopies.Add(1)
+		if serde.SharedFast(value) {
+			return value
+		}
+		return codec().Clone(value)
+	}
+
 	if len(dests) == 1 {
-		d := Delivery{Targets: dests[0].targets, Value: value, Mode: mode}
+		d := Delivery{Targets: dests[0].targets, Value: value, Mode: mode, Codec: codec(),
+			// A moved value with no local consumers and one remote
+			// destination is the transport's alone: it may ship payload
+			// segments by reference without a snapshot.
+			OwnsValue: mode == SendMove && len(locals) == 0}
 		if o := g.obs; o != nil {
 			o.Record(obs.Event{Kind: obs.EvSend, Worker: int32(worker), TT: -1})
 			d.Flow = g.nextFlow()
@@ -147,7 +178,7 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 		}
 		bcast := make(map[int]Delivery, len(dests))
 		for j := range dests {
-			d := Delivery{Targets: dests[j].targets, Value: value, Mode: mode}
+			d := Delivery{Targets: dests[j].targets, Value: value, Mode: mode, Codec: codec()}
 			if o != nil {
 				// One flow id per destination: each arrow pairs a single emit
 				// with the single inject on its receiving rank, even when the
@@ -161,7 +192,6 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 		g.exec.Broadcast(bcast)
 	}
 
-	tr := g.exec.Tracer()
 	tracks := g.exec.TracksData()
 	effMode := mode
 	if mode == SendBorrow && !tracks {
@@ -225,7 +255,7 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 			if in.Access == ReadWrite {
 				// The sender retains ownership under borrow; a declared
 				// writer must get its own copy.
-				v = serdeClone(value, tr)
+				v = clone()
 			} else {
 				v = value
 				tr.CopiesAvoided.Add(1)
@@ -237,10 +267,10 @@ func (g *Graph) routeEdges(worker int, edges []*Edge, keys [][]any, value any, m
 				v = value
 				tr.CopiesAvoided.Add(1)
 			} else {
-				v = serdeClone(value, tr)
+				v = clone()
 			}
 		default: // SendCopy
-			v = serdeClone(value, tr)
+			v = clone()
 		}
 		if in.Reducer != nil && g.combines(lt.c.tt, lt.c.term) {
 			// Local pre-reduction: fold into the combiner slot instead of

@@ -297,7 +297,9 @@ func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
 			if d.Control == CtrlReduce {
 				// A child's partial: fold it into this rank's combiner slot
 				// (reduce.go). Values of later keys never alias — partials
-				// are always single-key deliveries.
+				// are always single-key deliveries. The fold consumes the
+				// partial, so a recv-view lease on it ends here.
+				endViewLease(d.Value)
 				if t := g.foldPartial(tt, tgt.Term, key, d.Value, d.N, -1); t != nil {
 					add(t)
 				}
@@ -320,6 +322,7 @@ func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
 				g.exec.Tracer().RemoteReducerMsgs.Add(1)
 			}
 			var v any
+			raw := false
 			switch {
 			case h != nil && joins(tt, tgt.Term):
 				v = h
@@ -336,6 +339,14 @@ func (g *Graph) injectCollect(d Delivery, first **Task, extra *[]*Task) {
 				g.exec.Tracer().DataCopies.Add(1)
 			default:
 				v = d.Value
+				raw = true
+			}
+			if raw && tt.inputs[tgt.Term].Reducer != nil {
+				// The raw value is folded at delivery below and never
+				// reaches a task's materialize; end its lease now. (A raw
+				// value landing on a plain terminal keeps its lease until
+				// the consuming task starts.)
+				endViewLease(v)
 			}
 			if t := g.deliverLocal(tt, tgt.Term, key, v, -1); t != nil {
 				add(t)

@@ -314,6 +314,13 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "reduce: local-folds=%d tree-hops=%d owner-inbound-bytes-avoided=%s\n",
 			rfolds, rhops, formatSI(rsaved))
 	}
+	gatherS := r.Metrics.Counters[CounterGatherSends]
+	copyS := r.Metrics.Counters[CounterCopySends]
+	views := r.Metrics.Counters[CounterViewDecodes]
+	if gatherS+copyS+views > 0 {
+		fmt.Fprintf(&b, "serde: gather-sends=%d copy-sends=%d view-decodes=%d bytes-zero-copied=%s\n",
+			gatherS, copyS, views, formatSI(r.Metrics.Counters[CounterBytesZeroCopied]))
+	}
 
 	if hs, ok := r.Metrics.Hists[HistMsgBytes]; ok && hs.Count > 0 {
 		fmt.Fprintf(&b, "msg size:   %s\n", hs)

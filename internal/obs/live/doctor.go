@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/serde"
 )
 
 // Progress is a monotone fingerprint of one rank's forward motion; any
@@ -267,7 +268,13 @@ func (d *Doctor) Diagnose() *StallReport {
 			rep.Ranks = append(rep.Ranks, rp)
 		}
 	}
-	if rep.Pending == 0 && rep.Partials == 0 {
+	// Outstanding receive views pin pooled buffers; the ledger is
+	// process-global (one serde registry), so it is sampled once, not per
+	// rank. Post-fence, a nonzero count means some view-decoded value was
+	// parked without its lease ending — leaked pool memory worth reporting
+	// even when no task shell is pending.
+	rep.RecvViews = serde.LiveRecvViews()
+	if rep.Pending == 0 && rep.Partials == 0 && rep.RecvViews == 0 {
 		return nil
 	}
 	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Rank < rep.Ranks[j].Rank })
@@ -311,8 +318,12 @@ type StallReport struct {
 	// Partials counts unflushed hierarchical-reduction partials across
 	// all ranks (combiner slots that never drained).
 	Partials int64
-	Ranks    []RankPending
-	Blames   []BlameEdge
+	// RecvViews counts receive views still leasing pooled buffers at
+	// diagnosis time (process-global serde ledger). Nonzero after a fence
+	// means zero-copy payload memory is pinned by a parked value.
+	RecvViews int64
+	Ranks     []RankPending
+	Blames    []BlameEdge
 }
 
 // aggregate folds the sampled pending tasks into blame edges, ordered by
@@ -361,6 +372,10 @@ func (r *StallReport) String() string {
 		fmt.Fprintf(&b, ", unflushed reduction partials=%d", r.Partials)
 	}
 	b.WriteString(")\n")
+	if r.RecvViews > 0 {
+		fmt.Fprintf(&b, "  WARNING: %d receive view(s) still lease pooled buffers — a zero-copy decoded value was never released or consumed\n",
+			r.RecvViews)
+	}
 	for _, rp := range r.Ranks {
 		fmt.Fprintf(&b, "  rank %d: pending=%d active=%d", rp.Rank, rp.Total, rp.Active)
 		if rp.PartialCount > 0 {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/serde"
 )
 
 // Sample is one instantaneous metric value pushed by a Collector.
@@ -104,6 +105,14 @@ func (e *Exporter) Export(w io.Writer) error {
 	{
 		f := fam("data_tracked_live", "gauge")
 		f.lines = append(f.lines, fmt.Sprintf("data_tracked_live %d", core.LiveTrackedHandles()))
+	}
+
+	{
+		// Process-global like data_tracked_live: one unlabeled series for
+		// the receive views currently leasing pooled buffers.
+		n := sanitizeMetricName(obs.GaugeRecvViews)
+		f := fam(n, "gauge")
+		f.lines = append(f.lines, fmt.Sprintf("%s %d", n, serde.LiveRecvViews()))
 	}
 
 	for _, c := range e.Collectors {

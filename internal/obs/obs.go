@@ -223,6 +223,23 @@ const (
 	// GaugePendingReductions tracks combiner slots holding unflushed
 	// partial accumulations (nonzero after a fence means lost input).
 	GaugePendingReductions = "reduce.pending_partials"
+	// CounterGatherSends counts remote data deliveries that took the
+	// zero-copy gather path: header encoded, payload shipped as
+	// by-reference segments.
+	CounterGatherSends = "serde.gather_sends"
+	// CounterCopySends counts remote data deliveries that flattened the
+	// payload through the copy-encode path (the gather path's baseline).
+	CounterCopySends = "serde.copy_sends"
+	// CounterViewDecodes counts receives decoded as views aliasing the
+	// arrived payload memory instead of copying out of it.
+	CounterViewDecodes = "serde.view_decodes"
+	// CounterBytesZeroCopied counts payload bytes that crossed the wire by
+	// reference (gather sends), i.e. bytes spared the encode+decode pair.
+	CounterBytesZeroCopied = "serde.bytes_zero_copied"
+	// GaugeRecvViews tracks live receive views: scatter-decoded values
+	// still aliasing pooled receive buffers (process-global; nonzero after
+	// a fence means a view leak pinning pool memory).
+	GaugeRecvViews = "serde.recv_views"
 )
 
 // Config sizes a Session.

@@ -132,6 +132,22 @@ func PutFloat64s(s []float64) {
 	f64Pools[cls].Put(&s)
 }
 
+// CloneBytes returns a pooled copy of s: the snapshot a transport takes
+// of a gathered payload segment when the sender retains ownership of the
+// original. Return it with PutBytes (or via the owning object's Release).
+func CloneBytes(s []byte) []byte {
+	out := Bytes(len(s))
+	copy(out, s)
+	return out
+}
+
+// CloneFloat64s returns a pooled copy of s; see CloneBytes.
+func CloneFloat64s(s []float64) []float64 {
+	out := Float64s(len(s))
+	copy(out, s)
+	return out
+}
+
 // F64ClassFor returns the float64 size class for a payload of n elements,
 // for callers that pool whole objects keyed by payload class. ok is false
 // when n is outside the pooled range.

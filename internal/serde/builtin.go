@@ -64,6 +64,16 @@ func init() {
 			copy(out, v)
 			return out
 		},
+		// The slice is its own payload: header records the length, the
+		// one segment references the caller's array.
+		Gather: func(hdr *Buffer, v []byte) ([]Segment, bool) {
+			hdr.PutUvarint(uint64(len(v)))
+			return []Segment{{B: v}}, true
+		},
+		Scatter: func(hdr *Buffer, segs []Segment) []byte {
+			n := int(hdr.Uvarint())
+			return segs[0].B[:n:n]
+		},
 		Proto: ProtoArchive,
 	})
 	Register(FuncCodec[[]float64]{
@@ -74,6 +84,14 @@ func init() {
 			out := make([]float64, len(v))
 			copy(out, v)
 			return out
+		},
+		Gather: func(hdr *Buffer, v []float64) ([]Segment, bool) {
+			hdr.PutUvarint(uint64(len(v)))
+			return []Segment{{F64: v}}, true
+		},
+		Scatter: func(hdr *Buffer, segs []Segment) []float64 {
+			n := int(hdr.Uvarint())
+			return segs[0].F64[:n:n]
 		},
 		Proto: ProtoArchive,
 	})

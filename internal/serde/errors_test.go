@@ -1,17 +1,71 @@
 package serde
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 type unregisteredType struct{ x int }
 
 func TestUnregisteredTypePanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("encoding an unregistered type did not panic")
+		}
+		err, ok := r.(*ErrUnregistered)
+		if !ok {
+			t.Fatalf("panic value is %T, want *ErrUnregistered", r)
+		}
+		if !strings.Contains(err.Type, "unregisteredType") {
+			t.Fatalf("ErrUnregistered.Type = %q, want the offending type name", err.Type)
+		}
+		if !strings.Contains(err.Error(), "unregisteredType") {
+			t.Fatalf("Error() = %q, want it to name the type", err.Error())
 		}
 	}()
 	b := NewBuffer(8)
 	EncodeAny(b, unregisteredType{1})
+}
+
+func TestTryLookupCached(t *testing.T) {
+	c, err := TryLookupCached(unregisteredType{1})
+	if c != nil || err == nil {
+		t.Fatalf("TryLookupCached(unregistered) = (%v, %v), want (nil, error)", c, err)
+	}
+	var unreg *ErrUnregistered
+	if !errors.As(err, &unreg) {
+		t.Fatalf("error is %T, want *ErrUnregistered", err)
+	}
+	if !strings.Contains(unreg.Type, "unregisteredType") {
+		t.Fatalf("ErrUnregistered.Type = %q, want the offending type name", unreg.Type)
+	}
+
+	c, err = TryLookupCached(Int2{1, 2})
+	if err != nil {
+		t.Fatalf("TryLookupCached(Int2) error: %v", err)
+	}
+	if !c.For(Int2{3, 4}) {
+		t.Fatal("cached codec does not validate for its own type")
+	}
+	if c.For(Int3{}) {
+		t.Fatal("cached codec validated for a different type")
+	}
+	if c.Tag() != WireTagOf(Int2{}) {
+		t.Fatal("cached tag disagrees with registry")
+	}
+	// Cached encode/size agree with the package-level functions.
+	want := NewBuffer(16)
+	EncodeAny(want, Int2{7, 9})
+	got := NewBuffer(16)
+	c.EncodeAny(got, Int2{7, 9})
+	if string(got.Bytes()) != string(want.Bytes()) {
+		t.Fatal("Cached.EncodeAny output differs from EncodeAny")
+	}
+	if c.WireSizeAny(Int2{7, 9}) != WireSizeAny(Int2{7, 9}) {
+		t.Fatal("Cached.WireSizeAny disagrees with WireSizeAny")
+	}
 }
 
 func TestRegisteredPredicate(t *testing.T) {

@@ -120,16 +120,98 @@ func RegisterType(sample any, c Codec) {
 	byTag[e.tag] = e
 }
 
+// ErrUnregistered reports a serde operation on a value whose dynamic type
+// has no registered codec. Hot-path entry points (EncodeAny, CloneAny,
+// LookupCached) panic with it rather than returning an error — an
+// unregistered type on a terminal edge is a wiring bug, not a runtime
+// condition — but callers that want to probe can recover a typed value
+// with the offending type name, or use TryLookupCached.
+type ErrUnregistered struct {
+	// Type is the Go name of the unregistered dynamic type.
+	Type string
+}
+
+func (e *ErrUnregistered) Error() string {
+	return "serde: type " + e.Type + " is not registered"
+}
+
 // lookupType returns the registry entry for v's dynamic type.
 func lookupType(v any) *entry {
 	regMu.RLock()
 	e := byType[reflect.TypeOf(v)]
 	regMu.RUnlock()
 	if e == nil {
-		panic(fmt.Sprintf("serde: type %T is not registered", v))
+		panic(&ErrUnregistered{Type: fmt.Sprintf("%T", v)})
 	}
 	return e
 }
+
+// Cached is a devirtualized snapshot of one registry entry, the per-edge
+// codec cache behind steady-state sends. The value type of a terminal
+// edge is fixed after its first send, so the edge captures the lookup
+// once and every later send validates with a single reflect.TypeOf
+// pointer compare (For) instead of the RWMutex-guarded map hit in
+// lookupType. The snapshot pins the codec installed at lookup time;
+// re-registration (test-only) is picked up by the next cold lookup.
+type Cached struct {
+	typ       reflect.Type
+	codec     Codec
+	gather    Gatherer // non-nil iff codec implements the gather extension
+	tag       uint32
+	shareable bool
+}
+
+func newCached(e *entry) *Cached {
+	c := &Cached{typ: e.typ, codec: e.codec, tag: e.tag, shareable: e.shareable}
+	c.gather, _ = e.codec.(Gatherer)
+	return c
+}
+
+// LookupCached resolves v's dynamic type once for reuse across sends;
+// panics with *ErrUnregistered when no codec is installed.
+func LookupCached(v any) *Cached { return newCached(lookupType(v)) }
+
+// TryLookupCached is LookupCached without the panic: it returns a typed
+// *ErrUnregistered for unknown types.
+func TryLookupCached(v any) (*Cached, error) {
+	regMu.RLock()
+	e := byType[reflect.TypeOf(v)]
+	regMu.RUnlock()
+	if e == nil {
+		return nil, &ErrUnregistered{Type: fmt.Sprintf("%T", v)}
+	}
+	return newCached(e), nil
+}
+
+// For reports whether c was resolved for v's dynamic type — the cheap
+// validity check before using a cached codec on a send path.
+func (c *Cached) For(v any) bool { return reflect.TypeOf(v) == c.typ }
+
+// Tag returns the wire tag of the cached type.
+func (c *Cached) Tag() uint32 { return c.tag }
+
+// EncodeAny writes the tagged value body, equivalent to the package-level
+// EncodeAny but without the registry lookup.
+func (c *Cached) EncodeAny(b *Buffer, v any) {
+	b.PutUvarint(uint64(c.tag))
+	c.codec.Encode(b, v)
+}
+
+// WireSizeAny returns the tagged encoded size, mirroring WireSizeAny.
+func (c *Cached) WireSizeAny(v any) int {
+	return uvarintLen(uint64(c.tag)) + c.codec.WireSize(v)
+}
+
+// Clone deep-copies v with the same shareable fast path as CloneAny.
+func (c *Cached) Clone(v any) any {
+	if c.shareable {
+		return v
+	}
+	return c.codec.Clone(v)
+}
+
+// Gatherer returns the codec's gather extension, if it has one.
+func (c *Cached) Gatherer() (Gatherer, bool) { return c.gather, c.gather != nil }
 
 // CodecFor returns the codec registered for v's dynamic type.
 func CodecFor(v any) Codec { return lookupType(v).codec }
@@ -167,14 +249,23 @@ func WireSizeAny(v any) int {
 	return uvarintLen(uint64(e.tag)) + e.codec.WireSize(v)
 }
 
-// CloneAny deep-copies v through its codec. Pointer-free value types skip
-// the codec: their boxes are immutable, so sharing is a correct deep copy.
-// The type switch short-circuits the hottest key/value types without even
-// a registry lookup (mirroring the fast paths of core's task-ID hash).
-func CloneAny(v any) any {
+// SharedFast reports whether v is one of the hottest builtin value types,
+// whose interface boxes are immutable and therefore shareable without a
+// registry lookup (mirroring the fast paths of core's task-ID hash).
+// CloneAny and the per-edge cached clone path short-circuit on it.
+func SharedFast(v any) bool {
 	switch v.(type) {
 	case int, int32, int64, uint64, float64, bool, string, Void,
 		Int1, Int2, Int3, Int4, Int5:
+		return true
+	}
+	return false
+}
+
+// CloneAny deep-copies v through its codec. Pointer-free value types skip
+// the codec: their boxes are immutable, so sharing is a correct deep copy.
+func CloneAny(v any) any {
+	if SharedFast(v) {
 		return v
 	}
 	e := lookupType(v)

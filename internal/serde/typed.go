@@ -1,5 +1,7 @@
 package serde
 
+import "fmt"
+
 // FuncCodec builds a Codec from typed functions, the Go analog of writing a
 // serialization trait specialization in the C++ implementation.
 type FuncCodec[T any] struct {
@@ -8,11 +10,27 @@ type FuncCodec[T any] struct {
 	Size  func(T) int
 	Copy  func(T) T // nil means value-copy (suitable for POD types)
 	Proto Protocol
+
+	// Gather/Scatter opt the type into the zero-copy wire path (both or
+	// neither). Gather appends the value's metadata header and returns
+	// the payload as segment references into v's own memory, or ok=false
+	// to decline this particular value (the transport then copy-encodes
+	// via Enc). Scatter rebuilds a value that owns — and may alias — the
+	// segment memory.
+	Gather  func(hdr *Buffer, v T) (segs []Segment, ok bool)
+	Scatter func(hdr *Buffer, segs []Segment) T
 }
 
 // Register installs the typed codec for T.
 func Register[T any](fc FuncCodec[T]) {
 	var zero T
+	if (fc.Gather == nil) != (fc.Scatter == nil) {
+		panic(fmt.Sprintf("serde: codec for %T must set both Gather and Scatter or neither", zero))
+	}
+	if fc.Gather != nil {
+		RegisterType(zero, gatherCodecAdapter[T]{funcCodecAdapter[T]{fc}})
+		return
+	}
 	RegisterType(zero, funcCodecAdapter[T]{fc})
 }
 
@@ -28,6 +46,18 @@ func (a funcCodecAdapter[T]) Clone(v any) any {
 	return a.fc.Copy(v.(T))
 }
 func (a funcCodecAdapter[T]) Protocol() Protocol { return a.fc.Proto }
+
+// gatherCodecAdapter layers the Gatherer extension on top of the plain
+// adapter when the typed codec supplies Gather/Scatter.
+type gatherCodecAdapter[T any] struct{ funcCodecAdapter[T] }
+
+func (a gatherCodecAdapter[T]) Segments(hdr *Buffer, v any) ([]Segment, bool) {
+	return a.fc.Gather(hdr, v.(T))
+}
+
+func (a gatherCodecAdapter[T]) Scatter(hdr *Buffer, segs []Segment) any {
+	return a.fc.Scatter(hdr, segs)
+}
 
 // RegisterTrivial registers a POD-like fixed-layout type given explicit
 // encode/decode of its byte image. Trivial types clone by value.

@@ -3,8 +3,11 @@
 // paper's test systems (Hawk, Seawulf): each rank owns an endpoint with an
 // unbounded in-order inbox, point-to-point links with configurable latency
 // and bandwidth, and a remote-memory-access (RMA) facility used by the
-// split-metadata rendezvous protocol. All payloads really cross the
-// "network" as bytes, so serialization behaves as it would over a wire.
+// split-metadata rendezvous protocol. Framed payloads really cross the
+// "network" as bytes, so serialization behaves as it would over a wire;
+// gathered payloads (Packet.Segs) cross by reference — the in-process
+// analog of an iovec write handed to the NIC — but are charged their full
+// byte size in link occupancy and transfer time.
 //
 // The fabric is contention-free on the send path: links live in a
 // preallocated per-pair table (no map, no global mutex) and each directed
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serde"
 )
 
 // Config describes the virtual fabric.
@@ -43,7 +47,16 @@ type Packet struct {
 	Src, Dst int
 	Kind     uint8
 	Data     []byte
+	// Segs carries gathered payload segments by reference (the zero-copy
+	// wire path). The fabric never touches their memory, but link
+	// occupancy and transfer time charge their full byte size, so a
+	// by-reference payload costs exactly what its bytes would.
+	Segs []serde.Segment
 }
+
+// WireLen is the packet's size as charged on the wire: framed data plus
+// all by-reference segment bytes.
+func (p *Packet) WireLen() int { return len(p.Data) + serde.SegmentBytes(p.Segs) }
 
 // link is one directed channel's virtual clock: the fabric-relative time
 // (ns since the network was built) at which the link next becomes free.
@@ -160,7 +173,7 @@ func (n *Network) deliver(p Packet) {
 	// lock or a per-link goroutine.
 	li := p.Src*len(n.eps) + p.Dst
 	l := &n.links[li]
-	xfer := int64(n.transferTime(len(p.Data)))
+	xfer := int64(n.transferTime(p.WireLen()))
 	now := n.now()
 	var at int64
 	for {
@@ -313,6 +326,17 @@ func (e *Endpoint) Send(dst int, kind uint8, data []byte) {
 		panic(fmt.Sprintf("simnet: send to invalid rank %d", dst))
 	}
 	e.net.deliver(Packet{Src: e.rank, Dst: dst, Kind: kind, Data: data})
+}
+
+// SendSegs transmits framed data plus by-reference payload segments (the
+// zero-copy gather path). Data and the segment list are owned by the
+// network after the call; segment memory is owned by whoever decodes the
+// packet on the receive side.
+func (e *Endpoint) SendSegs(dst int, kind uint8, data []byte, segs []serde.Segment) {
+	if dst < 0 || dst >= len(e.net.eps) {
+		panic(fmt.Sprintf("simnet: send to invalid rank %d", dst))
+	}
+	e.net.deliver(Packet{Src: e.rank, Dst: dst, Kind: kind, Data: data, Segs: segs})
 }
 
 // Recv blocks for the next packet; ok is false once the network is closed

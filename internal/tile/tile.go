@@ -20,6 +20,10 @@ type Tile struct {
 	Rows, Cols int
 	// Data is the row-major payload; nil marks a phantom tile.
 	Data []float64
+	// viewed marks a tile decoded as a receive view: Data aliases pooled
+	// receive memory the runtime still accounts for in the recv-view
+	// ledger until EndViewLease runs.
+	viewed bool
 }
 
 // New allocates a zeroed tile.
@@ -45,6 +49,7 @@ func get(rows, cols int) *Tile {
 		t := v.(*Tile)
 		t.Rows, t.Cols = rows, cols
 		t.Data = t.Data[:n]
+		t.viewed = false
 		return t
 	}
 	return &Tile{Rows: rows, Cols: cols, Data: make([]float64, n, pool.F64ClassCap(cls))}
@@ -66,6 +71,7 @@ func (t *Tile) Release() {
 	if t == nil || t.Data == nil {
 		return
 	}
+	t.EndViewLease()
 	c := cap(t.Data)
 	cls, ok := pool.F64ClassFor(c)
 	if !ok || pool.F64ClassCap(cls) != c {
@@ -73,6 +79,17 @@ func (t *Tile) Release() {
 	}
 	t.Data = t.Data[:c]
 	tilePools[cls].Put(t)
+}
+
+// EndViewLease implements serde.ViewLease: it retires the recv-view
+// ledger entry of a scatter-decoded tile. Idempotent; called by Release
+// and by the runtime when it hands the tile (and so its payload memory)
+// over to the application outright.
+func (t *Tile) EndViewLease() {
+	if t != nil && t.viewed {
+		t.viewed = false
+		serde.NoteViewEnd()
+	}
 }
 
 // Phantom builds a shape-only tile for virtual-time runs.
@@ -186,6 +203,28 @@ func init() {
 		// virtual-time communication costs match real transfers.
 		Size: func(t *Tile) int { return 16 + t.PayloadSize() },
 		Copy: func(t *Tile) *Tile { return t.Clone() },
+		// Zero-copy wire path: the header carries only the shape, the
+		// payload rides as one segment referencing t.Data. Phantoms
+		// decline — they have no payload memory to reference, and the
+		// simulator charges their modeled bytes in its own cost branch.
+		Gather: func(hdr *serde.Buffer, t *Tile) ([]serde.Segment, bool) {
+			if t.Data == nil {
+				return nil, false
+			}
+			hdr.PutVarint(int64(t.Rows))
+			hdr.PutVarint(int64(t.Cols))
+			return []serde.Segment{{F64: t.Data}}, true
+		},
+		Scatter: func(hdr *serde.Buffer, segs []serde.Segment) *Tile {
+			rows := int(hdr.Varint())
+			cols := int(hdr.Varint())
+			// The tile is a view: Data aliases the received segment
+			// (pooled receive memory) rather than copying out of it.
+			// Keep the segment's full capacity so Release can return
+			// the buffer to its exact pool class.
+			serde.NoteViewDecode()
+			return &Tile{Rows: rows, Cols: cols, Data: segs[0].F64[:rows*cols], viewed: true}
+		},
 	})
 	serde.RegisterSplitMD(&Tile{}, serde.SplitMDTraits{
 		Allocate: func(meta []byte) serde.SplitMD {

@@ -38,6 +38,15 @@ type Collector struct {
 	ReduceDeliveries   atomic.Int64 // partials received at the owning (root) rank
 	RemoteReducerMsgs  atomic.Int64 // point-to-point remote deliveries onto streaming terminals
 	ReduceBytesSaved   atomic.Int64 // owner-inbound bytes avoided: payload merged into a parked remote-bound partial
+
+	// Zero-copy wire-path counters (backend gather/scatter sends). A
+	// remote data delivery takes exactly one of the gather or copy paths;
+	// BytesZeroCopied is the payload bytes the gather sends moved by
+	// reference (bytes spared one encode and one decode memcpy).
+	GatherSends     atomic.Int64 // deliveries shipped as header + by-reference segments
+	CopySends       atomic.Int64 // deliveries flattened through copy-encode
+	ViewDecodes     atomic.Int64 // receives decoded as views over arrived payload memory
+	BytesZeroCopied atomic.Int64 // payload bytes that crossed by reference
 }
 
 // Snapshot is an immutable copy of a Collector's counters.
@@ -63,6 +72,11 @@ type Snapshot struct {
 	ReduceDeliveries   int64
 	RemoteReducerMsgs  int64
 	ReduceBytesSaved   int64
+
+	GatherSends     int64
+	CopySends       int64
+	ViewDecodes     int64
+	BytesZeroCopied int64
 }
 
 // Snapshot captures the current counter values.
@@ -89,6 +103,11 @@ func (c *Collector) Snapshot() Snapshot {
 		ReduceDeliveries:   c.ReduceDeliveries.Load(),
 		RemoteReducerMsgs:  c.RemoteReducerMsgs.Load(),
 		ReduceBytesSaved:   c.ReduceBytesSaved.Load(),
+
+		GatherSends:     c.GatherSends.Load(),
+		CopySends:       c.CopySends.Load(),
+		ViewDecodes:     c.ViewDecodes.Load(),
+		BytesZeroCopied: c.BytesZeroCopied.Load(),
 	}
 }
 
@@ -117,16 +136,22 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		ReduceDeliveries:   s.ReduceDeliveries + o.ReduceDeliveries,
 		RemoteReducerMsgs:  s.RemoteReducerMsgs + o.RemoteReducerMsgs,
 		ReduceBytesSaved:   s.ReduceBytesSaved + o.ReduceBytesSaved,
+
+		GatherSends:     s.GatherSends + o.GatherSends,
+		CopySends:       s.CopySends + o.CopySends,
+		ViewDecodes:     s.ViewDecodes + o.ViewDecodes,
+		BytesZeroCopied: s.BytesZeroCopied + o.BytesZeroCopied,
 	}
 }
 
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"tasks=%d msgs=%d/%d bytes=%d/%d pkts=%d coalesced=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d matchops=%d folds=%d partials=%d hops=%d rdeliv=%d rptp=%d rbytes-saved=%d",
+		"tasks=%d msgs=%d/%d bytes=%d/%d pkts=%d coalesced=%d copies=%d avoided=%d splitmd=%d archive=%d bcast-fwd=%d stolen=%d matchops=%d folds=%d partials=%d hops=%d rdeliv=%d rptp=%d rbytes-saved=%d gather=%d copysend=%d views=%d zerocopied=%d",
 		s.TasksExecuted, s.MsgsSent, s.MsgsReceived, s.BytesSent, s.BytesReceived,
 		s.WirePackets, s.CoalescedMsgs,
 		s.DataCopies, s.CopiesAvoided, s.SplitMDTransfers, s.ArchiveTransfers,
 		s.BcastsForwarded, s.TasksStolen,
 		s.MatchOps, s.ReduceLocalFolds, s.ReducePartialsSent, s.ReduceHops,
-		s.ReduceDeliveries, s.RemoteReducerMsgs, s.ReduceBytesSaved)
+		s.ReduceDeliveries, s.RemoteReducerMsgs, s.ReduceBytesSaved,
+		s.GatherSends, s.CopySends, s.ViewDecodes, s.BytesZeroCopied)
 }
