@@ -259,6 +259,9 @@ func TestObsOverheadGuard(t *testing.T) {
 	if os.Getenv("TTG_BENCH_GUARD") != "1" {
 		t.Skip("set TTG_BENCH_GUARD=1 to run the overhead guard")
 	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("bench guard needs >= 2 CPUs: contended ratios are meaningless on a single-core runner")
+	}
 	best := func(bench func(b *testing.B)) float64 {
 		ns := math.Inf(1)
 		for i := 0; i < 3; i++ {

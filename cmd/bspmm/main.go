@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/apps/bspmm"
+	"repro/internal/netcli"
 	"repro/internal/obscli"
 	"repro/internal/sparse"
 	"repro/internal/tile"
@@ -30,7 +31,13 @@ func main() {
 	layers := flag.Int("layers", 0, "2.5D replica layers (dbcsr model; 0 = auto)")
 	flatReduce := flag.Bool("flat-reduce", false, "disable hierarchical reduction of inter-layer C partials (ablation)")
 	obsFlags := obscli.Register(nil)
+	netFlags := netcli.Register(nil)
 	flag.Parse()
+
+	ep, err := netFlags.Launch(*ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	be := ttg.PaRSEC
 	if *backendName == "madness" {
@@ -53,7 +60,7 @@ func main() {
 	start := time.Now()
 	var appStats string
 	session := obsFlags.Session()
-	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session}, obsFlags.Hook(), func(pc *ttg.Process) {
+	ttg.RunLive(ttg.Config{Ranks: *ranks, WorkersPerRank: *workers, Backend: be, Obs: session, Fabric: ep}, obsFlags.Hook(), func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		app := bspmm.Build(g, bspmm.Options{
 			A: mat, Variant: variant, Layers: *layers, FlatReduce: *flatReduce,
@@ -75,8 +82,13 @@ func main() {
 	elapsed := time.Since(start)
 
 	fmt.Printf("BSPMM C=A·A, %s\n", appStats)
-	fmt.Printf("on %d ranks x %d workers, backend=%s, variant=%s\n", *ranks, *workers, be, variant)
-	fmt.Printf("product tiles: %d, Σ‖C tile‖_F = %.6g\n", produced, checksum)
+	if ep != nil {
+		fmt.Printf("rank %d/%d over %s, backend=%s, variant=%s\n", ep.Rank(), ep.Size(), netFlags.Transport(), be, variant)
+		fmt.Printf("local product tiles: %d, local Σ‖C tile‖_F = %.6g\n", produced, checksum)
+	} else {
+		fmt.Printf("on %d ranks x %d workers, backend=%s, variant=%s\n", *ranks, *workers, be, variant)
+		fmt.Printf("product tiles: %d, Σ‖C tile‖_F = %.6g\n", produced, checksum)
+	}
 	fmt.Printf("time %.3fs (%.2f GF/s aggregate)\n", elapsed.Seconds(), mat.MulFlops()/elapsed.Seconds()/1e9)
 	fmt.Printf("stats: %s\n", stats)
 	if err := obsFlags.FinishDoctor(); err != nil {

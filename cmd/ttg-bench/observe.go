@@ -18,6 +18,7 @@ import (
 	"repro/internal/apps/cholesky"
 	"repro/internal/apps/fw"
 	"repro/internal/apps/mra"
+	"repro/internal/netcli"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
 	"repro/internal/sparse"
@@ -34,6 +35,7 @@ var (
 	obsN       = flag.Int("n", 512, "trace/stats problem size (matrix order / atom count / Gaussian count)")
 	obsOut     = flag.String("o", "trace.json", "trace: output path for the Chrome-trace JSON")
 	obsHTTP    = flag.String("http", "", "serve net/http/pprof and expvar on this address (e.g. :6060) during the run")
+	obsNet     = netcli.Register(nil)
 )
 
 // runObserved executes the trace or stats subcommand.
@@ -41,6 +43,10 @@ func runObserved(cmd string) {
 	be := ttg.PaRSEC
 	if *obsBackend == "madness" {
 		be = ttg.MADNESS
+	}
+	ep, err := obsNet.Launch(*obsRanks)
+	if err != nil {
+		log.Fatal(err)
 	}
 	session := obs.NewSession(obs.Config{})
 
@@ -63,7 +69,7 @@ func runObserved(cmd string) {
 		fmt.Printf("serving pprof+expvar+/metrics on %s (during the run)\n", *obsHTTP)
 	}
 
-	cfg := ttg.Config{Ranks: *obsRanks, WorkersPerRank: *obsWorkers, Backend: be, Obs: session}
+	cfg := ttg.Config{Ranks: *obsRanks, WorkersPerRank: *obsWorkers, Backend: be, Obs: session, Fabric: ep}
 	switch *obsApp {
 	case "potrf":
 		grid := tile.Grid{N: *obsN, NB: 64}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
 	"repro/internal/pool"
@@ -26,7 +27,9 @@ import (
 	"repro/internal/trace"
 )
 
-// Wire kinds on the simnet fabric.
+// Wire kinds on the fabric. Kinds at or above fabric.KindReserved belong
+// to the transport itself (netfab bootstrap and pull frames) and never
+// reach the comm loop.
 const (
 	kCtrl       uint8 = iota + 1 // termination-detection control
 	kData                        // eager data: header + inline archive value
@@ -84,6 +87,13 @@ type Options struct {
 	GatherThreshold int
 	// Net configures latency/bandwidth of the virtual fabric.
 	Net simnet.Config
+	// Fabric, when non-nil, replaces the in-process simnet cluster with an
+	// externally bootstrapped transport endpoint (internal/netfab): the
+	// runtime then hosts exactly ONE rank — Fabric.Rank() — of a cluster
+	// whose other ranks are separate OS processes, and the ranks argument
+	// to New is ignored in favor of Fabric.Size(). Net is unused in this
+	// mode; latency and bandwidth are the real network's.
+	Fabric fabric.Endpoint
 	// Obs, when non-nil, enables structured observability: every rank
 	// records lifecycle events and metrics into the session, and the
 	// fabric maintains the in-flight-message gauge. Nil costs one branch
@@ -113,24 +123,37 @@ func (o *Options) fill(ranks int) {
 	o.Net.Ranks = ranks
 }
 
-// Runtime owns a virtual cluster of ranks executing one TTG program.
+// Runtime owns the local share of a cluster executing one TTG program: in
+// the default (simnet) mode every rank of a virtual cluster, in fabric
+// mode the single local rank of a multi-process cluster.
 type Runtime struct {
 	opts   Options
-	net    *simnet.Network
-	procs  []*Proc
+	net    *simnet.Network // nil in fabric mode
+	size   int             // cluster size (== len(procs) in simnet mode)
+	procs  []*Proc         // local ranks only
 	commWG sync.WaitGroup
 }
 
-// New builds a runtime with the given number of ranks.
+// New builds a runtime with the given number of ranks, or — when
+// opts.Fabric is set — the single-local-rank runtime for that endpoint's
+// rank of a multi-process cluster (ranks is then ignored).
 func New(ranks int, opts Options) *Runtime {
+	if opts.Fabric != nil {
+		ep := opts.Fabric
+		opts.fill(ep.Size())
+		rt := &Runtime{opts: opts, size: ep.Size()}
+		rt.procs = []*Proc{newProc(rt, ep)}
+		rt.procs[0].start(&rt.commWG)
+		return rt
+	}
 	opts.fill(ranks)
-	rt := &Runtime{opts: opts, net: simnet.New(opts.Net)}
+	rt := &Runtime{opts: opts, net: simnet.New(opts.Net), size: ranks}
 	if opts.Obs != nil {
 		rt.net.Observe(opts.Obs.Global().Gauge(obs.GaugeInflightMsgs))
 	}
 	rt.procs = make([]*Proc, ranks)
 	for r := 0; r < ranks; r++ {
-		rt.procs[r] = newProc(rt, r)
+		rt.procs[r] = newProc(rt, rt.net.Endpoint(r))
 	}
 	for _, p := range rt.procs {
 		p.start(&rt.commWG)
@@ -141,11 +164,20 @@ func New(ranks int, opts Options) *Runtime {
 // Options returns the engine configuration (read-only).
 func (rt *Runtime) Options() Options { return rt.opts }
 
-// Proc returns rank r's process context.
-func (rt *Runtime) Proc(r int) *Proc { return rt.procs[r] }
+// Proc returns rank r's process context. In fabric mode only the local
+// rank is hosted here; asking for a remote rank panics.
+func (rt *Runtime) Proc(r int) *Proc {
+	if rt.net == nil {
+		if p := rt.procs[0]; p.rank == r {
+			return p
+		}
+		panic(fmt.Sprintf("backend: rank %d is not hosted by this process", r))
+	}
+	return rt.procs[r]
+}
 
-// Ranks returns the cluster size.
-func (rt *Runtime) Ranks() int { return len(rt.procs) }
+// Ranks returns the cluster size (across all processes in fabric mode).
+func (rt *Runtime) Ranks() int { return rt.size }
 
 // Run executes main once per rank, concurrently (the SPMD model). Each
 // main must build its graph, Bind it, inject seeds, and Fence before
@@ -168,7 +200,14 @@ func (rt *Runtime) Shutdown() {
 	for _, p := range rt.procs {
 		p.pool.Stop()
 	}
-	rt.net.Close()
+	if rt.net != nil {
+		rt.net.Close()
+	} else if c, ok := rt.procs[0].ep.(interface{ Close() error }); ok {
+		// Fabric mode: the endpoint owns its sockets; Close drains send
+		// queues, performs the shutdown handshake with every peer, and
+		// closes the inbox so the comm loop exits.
+		c.Close()
+	}
 	rt.commWG.Wait()
 }
 
@@ -176,7 +215,7 @@ func (rt *Runtime) Shutdown() {
 type Proc struct {
 	rt       *Runtime
 	rank     int
-	ep       *simnet.Endpoint
+	ep       fabric.Endpoint
 	det      *termdet.Detector
 	pool     *sched.Pool
 	tr       trace.Collector
@@ -211,8 +250,9 @@ type Proc struct {
 	snaps  map[uint64]struct{}
 }
 
-func newProc(rt *Runtime, rank int) *Proc {
-	p := &Proc{rt: rt, rank: rank, ep: rt.net.Endpoint(rank), ready: make(chan struct{})}
+func newProc(rt *Runtime, ep fabric.Endpoint) *Proc {
+	rank := ep.Rank()
+	p := &Proc{rt: rt, rank: rank, ep: ep, ready: make(chan struct{})}
 	if rt.opts.Obs != nil {
 		p.rec = rt.opts.Obs.Rank(rank)
 		m := p.rec.Metrics()
@@ -395,7 +435,8 @@ func (p *Proc) SubmitBatch(ts []*core.Task) {
 // floor), then eager copy-encode.
 func (p *Proc) Deliver(dest int, d core.Delivery) {
 	if dest == p.rank {
-		panic("backend: Deliver to self")
+		p.deliverLoopback(d)
+		return
 	}
 	hasValue := d.Control == core.CtrlNone || d.Control == core.CtrlReduce
 	var enc *serde.Cached
@@ -435,6 +476,51 @@ func (p *Proc) Deliver(dest int, d core.Delivery) {
 		}
 	}
 	p.enqueue(dest, kData, b)
+}
+
+// deliverLoopback handles a Deliver whose destination is the local rank.
+// Normal edge routing splits local targets off before calling Deliver, but
+// launcher-computed keymaps (and lopsided process maps in multi-process
+// runs) can legitimately resolve a wire delivery back to self; rather than
+// panicking, the delivery short-circuits to local matching with
+// wire-equivalent copy semantics — the "receiver" side gets an exclusive
+// object of its own, via a clone unless the transport already owns the
+// value — without touching the fabric or the termination detector's
+// message counts (the Activate bracket alone keeps the detector live
+// across the injection, as on the receive side).
+func (p *Proc) deliverLoopback(d core.Delivery) {
+	<-p.ready
+	p.tr.LoopbackDeliveries.Add(1)
+	if d.Control == core.CtrlNone || d.Control == core.CtrlReduce {
+		switch {
+		case d.OwnsValue:
+			// Moved with no other consumers: the receiver takes the object
+			// as its own, exactly as a wire decode would.
+			d.Exclusive = true
+			d.OwnsValue = false
+		case serde.SharedFast(d.Value):
+			// Immutable box: sharing is a correct deep copy, but it is
+			// shared, so the runtime must not reclaim it.
+		default:
+			enc := d.Codec
+			if enc == nil || !enc.For(d.Value) {
+				enc = serde.LookupCached(d.Value)
+			}
+			d.Value = enc.Clone(d.Value)
+			d.Exclusive = !enc.Shareable()
+			if enc.Shareable() {
+				p.tr.CopiesAvoided.Add(1)
+			} else {
+				p.tr.DataCopies.Add(1)
+			}
+		}
+	}
+	p.det.Activate()
+	p.graph.Inject(d)
+	if d.Control == core.CtrlReduce {
+		p.flushSends()
+	}
+	p.det.Deactivate()
 }
 
 // gatherMin resolves the effective gather floor: the backend option when
@@ -516,7 +602,7 @@ func (p *Proc) deliverSplit(dest int, d core.Delivery) {
 	b.PutUvarint(uint64(serde.WireTagOf(d.Value)))
 	b.PutBytes(src.SplitMetadata())
 	b.PutUvarint(uint64(src.PayloadBytes()))
-	b.PutRaw(simnet.EncodeHandle(nil, h))
+	b.PutRaw(fabric.EncodeHandle(nil, h))
 	p.tr.SplitMDTransfers.Add(1)
 	p.tr.BytesSent.Add(int64(src.PayloadBytes())) // the RMA-fetched payload
 	if p.rdvSends != nil {
@@ -675,7 +761,7 @@ func (p *Proc) commLoop() {
 			p.handleCoal(pkt.Data, pkt.Segs, pkt.Src)
 			serde.Recycle(pkt.Data)
 		case kSplitAck:
-			h, _ := simnet.DecodeHandle(pkt.Data)
+			h, _ := fabric.DecodeHandle(pkt.Data)
 			obj := p.ep.Deregister(h)
 			p.snapMu.Lock()
 			_, snap := p.snaps[h.ID]
@@ -800,22 +886,29 @@ func (p *Proc) startSplitFetch(b *serde.Buffer, src int) {
 	tag := uint32(b.Uvarint())
 	meta := b.BytesOut()
 	payloadBytes := int(b.Uvarint())
-	h, _ := simnet.DecodeHandle(b.RawOut(12))
+	h, _ := fabric.DecodeHandle(b.RawOut(fabric.HandleLen))
 	go p.fetchSplit(d, tag, meta, payloadBytes, h, src)
 }
 
-func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes int, h simnet.RMAHandle, src int) {
+func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes int, h fabric.RMAHandle, src int) {
 	defer p.det.Deactivate()
 	traits, ok := serde.SplitMDByTag(tag)
 	if !ok {
 		panic(fmt.Sprintf("backend: no splitmd traits for wire tag %d", tag))
 	}
 	obj := traits.Allocate(meta)
-	srcObj, err := p.ep.FetchObject(h, payloadBytes)
+	srcObj, owned, err := p.ep.FetchObject(h, payloadBytes)
 	if err != nil {
 		panic(fmt.Sprintf("backend: splitmd fetch failed: %v", err))
 	}
 	obj.CopyPayloadFrom(srcObj.(serde.SplitMD))
+	if owned {
+		// A network fabric decoded a requester-owned temporary for us;
+		// its pooled payload is dead once copied out.
+		if r, ok := srcObj.(pool.Releasable); ok {
+			r.Release()
+		}
+	}
 	p.tr.SplitMDTransfers.Add(1)
 	p.tr.BytesReceived.Add(int64(payloadBytes)) // the RMA-fetched payload
 	p.recordDeliver(payloadBytes)
@@ -827,7 +920,7 @@ func (p *Proc) fetchSplit(d core.Delivery, tag uint32, meta []byte, payloadBytes
 		p.flushSends()
 	}
 	// Notify the sender so it can release the source object.
-	p.ep.Send(src, kSplitAck, simnet.EncodeHandle(nil, h))
+	p.ep.Send(src, kSplitAck, fabric.EncodeHandle(nil, h))
 }
 
 // recordDeliver emits a message-delivery event on the comm thread.
@@ -905,6 +998,22 @@ func (p *Proc) CollectLive(emit func(live.Sample)) {
 		Value: float64(p.ep.RegionCount())})
 	emit(live.Sample{Name: obs.GaugeTermdetActive, Rank: p.rank,
 		Value: float64(p.det.Active())})
+	if ss, ok := p.ep.(fabric.StatSource); ok {
+		for _, st := range ss.PeerStats() {
+			counter := func(name string, v int64) {
+				emit(live.Sample{Name: name, Rank: p.rank,
+					Peer: st.Peer, HasPeer: true, Counter: true, Value: float64(v)})
+			}
+			counter(obs.CounterFabricTxBytes, st.TxBytes)
+			counter(obs.CounterFabricRxBytes, st.RxBytes)
+			counter(obs.CounterFabricTxFrames, st.TxFrames)
+			counter(obs.CounterFabricRxFrames, st.RxFrames)
+			counter(obs.CounterFabricWritevSegs, st.WritevSegs)
+			counter(obs.CounterFabricWritevCalls, st.WritevCalls)
+			emit(live.Sample{Name: obs.GaugeFabricQueuedBytes, Rank: p.rank,
+				Peer: st.Peer, HasPeer: true, Value: float64(st.QueuedBytes)})
+		}
+	}
 }
 
 // LiveTargets builds one doctor target per rank.

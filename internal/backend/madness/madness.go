@@ -9,6 +9,7 @@ package madness
 
 import (
 	"repro/internal/backend"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -29,6 +30,10 @@ type Config struct {
 	GatherThreshold int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
+	// Fabric, when non-nil, replaces the in-process simnet cluster with an
+	// external transport endpoint (one OS process per rank); see
+	// backend.Options.Fabric.
+	Fabric fabric.Endpoint
 	// Obs, when non-nil, enables structured event recording and metrics.
 	Obs *obs.Session
 }
@@ -46,6 +51,7 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		CoalesceCount:   cfg.CoalesceCount,
 		GatherThreshold: cfg.GatherThreshold,
 		Net:             cfg.Net,
+		Fabric:          cfg.Fabric,
 		Obs:             cfg.Obs,
 	})
 }

@@ -10,6 +10,7 @@ package parsec
 
 import (
 	"repro/internal/backend"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -41,6 +42,10 @@ type Config struct {
 	BcastChunk int
 	// Net configures fabric latency/bandwidth.
 	Net simnet.Config
+	// Fabric, when non-nil, replaces the in-process simnet cluster with an
+	// external transport endpoint (one OS process per rank); see
+	// backend.Options.Fabric.
+	Fabric fabric.Endpoint
 	// Obs, when non-nil, enables structured event recording and metrics.
 	Obs *obs.Session
 }
@@ -64,6 +69,7 @@ func New(ranks int, cfg Config) *backend.Runtime {
 		CoalesceCount:   cfg.CoalesceCount,
 		BcastChunk:      cfg.BcastChunk,
 		Net:             cfg.Net,
+		Fabric:          cfg.Fabric,
 		Obs:             cfg.Obs,
 	})
 }

@@ -58,7 +58,16 @@ func newRandProgram(seed int64) *randProgram {
 func (rp *randProgram) run(be ttg.Backend, ranks int) map[int]float64 {
 	var mu sync.Mutex
 	sums := map[int]float64{}
-	ttg.Run(ttg.Config{Ranks: ranks, WorkersPerRank: 2, Backend: be}, func(pc *ttg.Process) {
+	ttg.Run(ttg.Config{Ranks: ranks, WorkersPerRank: 2, Backend: be}, rp.graphMain(&mu, sums))
+	return sums
+}
+
+// graphMain builds the per-rank SPMD main, accumulating sink values into
+// the shared map — shared across rank goroutines in-process, or holding
+// one rank's locally-owned sinks when each rank is its own runtime over a
+// real fabric.
+func (rp *randProgram) graphMain(mu *sync.Mutex, sums map[int]float64) func(pc *ttg.Process) {
+	return func(pc *ttg.Process) {
 		g := pc.NewGraph()
 		edges := make([]ttg.Edge[ttg.Int2, float64], rp.layers+1)
 		for i := range edges {
@@ -111,8 +120,7 @@ func (rp *randProgram) run(be ttg.Backend, ranks int) map[int]float64 {
 			}
 		}
 		g.Fence()
-	})
-	return sums
+	}
 }
 
 func TestRandomGraphEquivalence(t *testing.T) {

@@ -1,0 +1,79 @@
+package fabric
+
+import "sync"
+
+// Queue is an unbounded multi-producer FIFO with blocking pop, shared by
+// fabric implementations as the per-rank inbox; unbounded capacity
+// prevents the comm-thread deadlocks a bounded channel mesh would allow.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v; it reports false when the queue is closed and the
+// value was dropped.
+func (q *Queue[T]) Push(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks for the next value; ok is false once the queue is closed
+// and drained.
+func (q *Queue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return v, true
+}
+
+// TryPop returns a value if one is immediately available.
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	return v, true
+}
+
+// Close wakes all blocked Pops; further pushes are dropped.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

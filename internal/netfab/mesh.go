@@ -1,0 +1,77 @@
+package netfab
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// NewLocalMesh bootstraps an n-rank fabric whose ranks all live in the
+// calling process, connected over real loopback sockets — the harness for
+// transport tests and the loopback benchmarks. The coordinator listener
+// is bound up front, so there is no address race; cfg supplies per-rank
+// defaults (Transport, MaxInflight), with Rank/Size/Coord filled in here.
+// Close every returned endpoint (or call CloseAll) when done.
+func NewLocalMesh(n int, cfg Config) ([]*Endpoint, error) {
+	if cfg.Transport == "" {
+		cfg.Transport = "tcp"
+	}
+	var ln net.Listener
+	var coord string
+	var err error
+	if cfg.Transport == "unix" {
+		coord = filepath.Join(os.TempDir(), fmt.Sprintf("ttg-nf-coord-%d.sock", os.Getpid()))
+		os.Remove(coord)
+		ln, err = net.Listen("unix", coord)
+	} else {
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if ln != nil {
+			coord = ln.Addr().String()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	eps := make([]*Endpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := cfg
+			c.Rank, c.Size, c.Coord = r, n, coord
+			if r == 0 {
+				c.CoordListener = ln
+			}
+			eps[r], errs[r] = Bootstrap(c)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			CloseAll(eps)
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+// CloseAll closes every non-nil endpoint concurrently (graceful close is
+// a handshake, so peers must close together).
+func CloseAll(eps []*Endpoint) {
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		if ep == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
+			ep.Close()
+		}(ep)
+	}
+	wg.Wait()
+}

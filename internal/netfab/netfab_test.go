@@ -1,0 +1,339 @@
+package netfab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/pool"
+	"repro/internal/serde"
+	"repro/internal/tile"
+)
+
+func mesh(t testing.TB, n int, cfg Config) []*Endpoint {
+	t.Helper()
+	eps, err := NewLocalMesh(n, cfg)
+	if err != nil {
+		t.Fatalf("NewLocalMesh: %v", err)
+	}
+	t.Cleanup(func() { CloseAll(eps) })
+	return eps
+}
+
+func transports(t *testing.T, n int, f func(t *testing.T, eps []*Endpoint)) {
+	for _, tr := range []string{"tcp", "unix"} {
+		t.Run(tr, func(t *testing.T) {
+			f(t, mesh(t, n, Config{Transport: tr}))
+		})
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	transports(t, 2, func(t *testing.T, eps []*Endpoint) {
+		eps[0].Send(1, 7, []byte("ping"))
+		pkt, ok := eps[1].Recv()
+		if !ok || pkt.Kind != 7 || string(pkt.Data) != "ping" || pkt.Src != 0 {
+			t.Fatalf("bad packet: %+v ok=%v", pkt, ok)
+		}
+		eps[1].Send(0, 8, []byte("pong"))
+		pkt, ok = eps[0].Recv()
+		if !ok || pkt.Kind != 8 || string(pkt.Data) != "pong" || pkt.Src != 1 {
+			t.Fatalf("bad packet: %+v ok=%v", pkt, ok)
+		}
+	})
+}
+
+// TestFrameOrdering checks per-link FIFO across many frames and sizes.
+func TestFrameOrdering(t *testing.T) {
+	transports(t, 2, func(t *testing.T, eps []*Endpoint) {
+		const n = 500
+		go func() {
+			for i := 0; i < n; i++ {
+				b := serde.GetBuffer(16)
+				b.PutU32(uint32(i))
+				b.PutRaw(make([]byte, i%97))
+				eps[0].Send(1, 9, b.Detach())
+			}
+		}()
+		for i := 0; i < n; i++ {
+			pkt, ok := eps[1].Recv()
+			if !ok {
+				t.Fatalf("inbox closed at %d", i)
+			}
+			if got := serde.FromBytes(pkt.Data).U32(); got != uint32(i) {
+				t.Fatalf("frame %d arrived as %d (reordered)", i, got)
+			}
+		}
+	})
+}
+
+// TestSegRoundTrip ships float64 and byte segments and checks they land
+// in pooled memory with contents intact.
+func TestSegRoundTrip(t *testing.T) {
+	transports(t, 2, func(t *testing.T, eps []*Endpoint) {
+		f := pool.Float64s(1024)
+		for i := range f {
+			f[i] = float64(i) * 0.5
+		}
+		bseg := pool.CloneBytes([]byte("segment-bytes"))
+		eps[0].SendSegs(1, 10, []byte("hdr"), []serde.Segment{{F64: f}, {B: bseg}})
+		pkt, ok := eps[1].Recv()
+		if !ok || pkt.Kind != 10 || string(pkt.Data) != "hdr" || len(pkt.Segs) != 2 {
+			t.Fatalf("bad packet: %+v ok=%v", pkt, ok)
+		}
+		got := pkt.Segs[0].F64
+		if len(got) != 1024 {
+			t.Fatalf("f64 segment len = %d", len(got))
+		}
+		for i := range got {
+			if got[i] != float64(i)*0.5 {
+				t.Fatalf("f64[%d] = %v", i, got[i])
+			}
+		}
+		if string(pkt.Segs[1].B) != "segment-bytes" {
+			t.Fatalf("byte segment = %q", pkt.Segs[1].B)
+		}
+		if cap(got) != pool.F64ClassCap(mustClass(t, cap(got))) {
+			t.Fatalf("landed f64 segment not pool-classed: cap %d", cap(got))
+		}
+	})
+}
+
+func mustClass(t *testing.T, n int) int {
+	t.Helper()
+	cls, ok := pool.F64ClassFor(n)
+	if !ok {
+		t.Fatalf("cap %d has no pool class", n)
+	}
+	return cls
+}
+
+// TestPullProtocol exercises FetchObject across ranks: the gather-served
+// path (a registered tile) and the archive fallback, plus the unknown-
+// region error.
+func TestPullProtocol(t *testing.T) {
+	transports(t, 2, func(t *testing.T, eps []*Endpoint) {
+		src := tile.NewPooled(32, 32)
+		for i := range src.Data {
+			src.Data[i] = float64(i)
+		}
+		h := eps[0].RegisterObject(src)
+
+		obj, owned, err := eps[1].FetchObject(h, src.PayloadSize())
+		if err != nil {
+			t.Fatalf("FetchObject: %v", err)
+		}
+		if !owned {
+			t.Fatal("remote fetch must return an owned temporary")
+		}
+		got := obj.(*tile.Tile)
+		for i := range got.Data {
+			if got.Data[i] != float64(i) {
+				t.Fatalf("payload[%d] = %v", i, got.Data[i])
+			}
+		}
+		got.Release()
+
+		// Local fetch returns the live object, not a copy.
+		lobj, lowned, err := eps[0].FetchObject(h, 0)
+		if err != nil || lowned || lobj.(*tile.Tile) != src {
+			t.Fatalf("local fetch = %v owned=%v err=%v", lobj, lowned, err)
+		}
+		if eps[0].Deregister(h).(*tile.Tile) != src {
+			t.Fatal("Deregister did not return the object")
+		}
+		if eps[0].RegionCount() != 0 {
+			t.Fatal("region leaked")
+		}
+
+		// Unknown region surfaces as an error, not a hang.
+		if _, _, err := eps[1].FetchObject(fabric.RMAHandle{Owner: 0, ID: 999}, 0); err == nil {
+			t.Fatal("fetch of unknown region should fail")
+		}
+	})
+}
+
+// TestBackpressure checks that a sender parks once a peer's queued bytes
+// exceed MaxInflight and resumes as the writer drains — by throttling
+// drain via a tiny bound and verifying all frames still arrive.
+func TestBackpressure(t *testing.T) {
+	eps := mesh(t, 2, Config{Transport: "tcp", MaxInflight: 4 << 10})
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			eps[0].Send(1, 11, make([]byte, 1024))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, ok := eps[1].Recv(); !ok {
+			t.Fatalf("inbox closed at %d", i)
+		}
+	}
+	wg.Wait()
+	if q := eps[0].PeerStats()[0].QueuedBytes; q != 0 {
+		t.Fatalf("queued bytes after drain = %d", q)
+	}
+}
+
+func TestPeerStats(t *testing.T) {
+	eps := mesh(t, 3, Config{Transport: "tcp"})
+	eps[0].Send(2, 12, []byte("x"))
+	pkt, _ := eps[2].Recv()
+	if string(pkt.Data) != "x" {
+		t.Fatal("bad payload")
+	}
+	st := eps[0].PeerStats()
+	if len(st) != 2 {
+		t.Fatalf("got %d peer stats, want 2", len(st))
+	}
+	var to2 *fabric.PeerStat
+	for i := range st {
+		if st[i].Peer == 2 {
+			to2 = &st[i]
+		}
+	}
+	if to2 == nil || to2.TxFrames != 1 || to2.TxBytes == 0 || to2.WritevCalls != 1 {
+		t.Fatalf("stats to rank 2: %+v", to2)
+	}
+	// Receiver side counted it too.
+	for _, s := range eps[2].PeerStats() {
+		if s.Peer == 0 && (s.RxFrames != 1 || s.RxBytes != to2.TxBytes) {
+			t.Fatalf("rx stats: %+v (tx %d)", s, to2.TxBytes)
+		}
+	}
+}
+
+// TestGracefulClose: frames sent just before Close still arrive (the
+// half-close handshake drains both directions).
+func TestGracefulClose(t *testing.T) {
+	eps, err := NewLocalMesh(2, Config{Transport: "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		eps[0].Send(1, 13, []byte{byte(i)})
+	}
+	recvd := make(chan int, 1)
+	go func() {
+		c := 0
+		for {
+			if _, ok := eps[1].Recv(); !ok {
+				recvd <- c
+				return
+			}
+			c++
+		}
+	}()
+	CloseAll(eps)
+	select {
+	case c := <-recvd:
+		if c != n {
+			t.Fatalf("received %d of %d frames across close", c, n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver never saw inbox close")
+	}
+}
+
+// TestManyRanksAllToAll drives a 5-rank mesh with every pair exchanging
+// frames concurrently.
+func TestManyRanksAllToAll(t *testing.T) {
+	const n = 5
+	eps := mesh(t, n, Config{Transport: "tcp"})
+	var wg sync.WaitGroup
+	for src := 0; src < n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for dst := 0; dst < n; dst++ {
+				if dst == src {
+					continue
+				}
+				b := serde.GetBuffer(8)
+				b.PutU32(uint32(src))
+				eps[src].Send(dst, 14, b.Detach())
+			}
+		}(src)
+	}
+	seen := make([]map[int]bool, n)
+	for r := 0; r < n; r++ {
+		seen[r] = map[int]bool{}
+		for k := 0; k < n-1; k++ {
+			pkt, ok := eps[r].Recv()
+			if !ok {
+				t.Fatalf("rank %d inbox closed early", r)
+			}
+			from := int(serde.FromBytes(pkt.Data).U32())
+			if from != pkt.Src {
+				t.Fatalf("rank %d: src %d body says %d", r, pkt.Src, from)
+			}
+			seen[r][from] = true
+		}
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if len(seen[r]) != n-1 {
+			t.Fatalf("rank %d heard from %d peers", r, len(seen[r]))
+		}
+	}
+}
+
+func TestUnixMeshSelfSend(t *testing.T) {
+	eps := mesh(t, 2, Config{Transport: "unix"})
+	// Self-sends land locally without touching a socket (simnet parity).
+	eps[1].Send(1, 15, []byte("self"))
+	pkt, ok := eps[1].Recv()
+	if !ok || string(pkt.Data) != "self" || pkt.Src != 1 {
+		t.Fatalf("self send: %+v ok=%v", pkt, ok)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Transport: "ib", Rank: 0, Size: 2},
+		{Transport: "tcp", Rank: 2, Size: 2},
+		{Transport: "tcp", Rank: -1, Size: 2},
+	} {
+		if _, err := Bootstrap(cfg); err == nil {
+			t.Fatalf("Bootstrap(%+v) should fail", cfg)
+		}
+	}
+}
+
+func BenchmarkLoopbackPingPong(b *testing.B) {
+	for _, tr := range []string{"tcp", "unix"} {
+		b.Run(tr, func(b *testing.B) {
+			eps := mesh(b, 2, Config{Transport: tr})
+			payload := []byte("x")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eps[0].Send(1, 20, payload)
+				eps[1].Recv()
+				eps[1].Send(0, 20, payload)
+				eps[0].Recv()
+			}
+		})
+	}
+}
+
+func BenchmarkLoopbackBandwidth(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10, 256 << 10, 4 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			eps := mesh(b, 2, Config{Transport: "tcp"})
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := pool.Float64s(size / 8)
+				eps[0].SendSegs(1, 21, nil, []serde.Segment{{F64: f}})
+				pkt, _ := eps[1].Recv()
+				pool.PutFloat64s(pkt.Segs[0].F64)
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package netfab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pool"
+	"repro/internal/serde"
+)
+
+// Frame layout (everything little-endian, fixed-width so the reader is a
+// sequence of ReadFulls):
+//
+//	[u32 rest]     bytes remaining after this field
+//	[u8  kind]     fabric packet kind or transport-internal kind
+//	[u32 dataLen]  framed data bytes
+//	[u32 nsegs]    payload segment count
+//	data           dataLen bytes
+//	segdir         nsegs x ([u8 type][u32 elems])
+//	payloads       segment payload bytes, in directory order
+//
+// The sender never flattens this layout: header, data, directory, and
+// every segment payload are separate iovecs in one vectored write.
+const frameHeadLen = 13
+
+// postOpts carry a frame's ownership decisions from the send call to the
+// writer's post-write recycling.
+type postOpts struct {
+	// bounded subjects the enqueue to the per-peer in-flight byte bound.
+	// Transport-internal sends (pull responses) clear it: reader
+	// goroutines must never park, or backpressure could form a credit
+	// cycle across ranks.
+	bounded bool
+	// recycleData returns the data slice to the serde buffer pool after
+	// the write — only for transport-internal frames whose body the
+	// endpoint itself allocated. Application data is never recycled
+	// (broadcasts share one array across sends).
+	recycleData bool
+	// recycleSegs returns segment memory to its pool after the write
+	// (the SendSegs ownership contract). Pull responses clear it: their
+	// segments reference the live registered object, which stays valid
+	// until the requester's ack — strictly after the write completes.
+	recycleSegs bool
+}
+
+// outFrame is one frame queued on a peer's writer.
+type outFrame struct {
+	bufs    net.Buffers // iovecs: head, [data], [segdir], seg payloads...
+	head    []byte      // pooled scratch backing bufs[0] (and segdir)
+	segdir  []byte      // pooled scratch, nil when nsegs == 0
+	data    []byte
+	segs    []serde.Segment
+	opts    postOpts
+	wireLen int // total bytes across bufs
+}
+
+// buildFrame assembles the iovec list for one frame without copying data
+// or segment payloads.
+func buildFrame(kind uint8, data []byte, segs []serde.Segment, o postOpts) outFrame {
+	segBytes := serde.SegmentBytes(segs)
+	rest := frameHeadLen - 4 + len(data) + 5*len(segs) + segBytes
+	head := pool.Bytes(frameHeadLen)[:frameHeadLen]
+	binary.LittleEndian.PutUint32(head[:4], uint32(rest))
+	head[4] = kind
+	binary.LittleEndian.PutUint32(head[5:9], uint32(len(data)))
+	binary.LittleEndian.PutUint32(head[9:13], uint32(len(segs)))
+	f := outFrame{head: head, data: data, segs: segs, opts: o, wireLen: 4 + rest}
+	f.bufs = make(net.Buffers, 0, 3+len(segs))
+	f.bufs = append(f.bufs, head)
+	if len(data) > 0 {
+		f.bufs = append(f.bufs, data)
+	}
+	if len(segs) > 0 {
+		dir := pool.Bytes(5 * len(segs))[:5*len(segs)]
+		for i, s := range segs {
+			if s.F64 != nil {
+				dir[5*i] = segF64
+				binary.LittleEndian.PutUint32(dir[5*i+1:], uint32(len(s.F64)))
+			} else {
+				dir[5*i] = segB
+				binary.LittleEndian.PutUint32(dir[5*i+1:], uint32(len(s.B)))
+			}
+		}
+		f.segdir = dir
+		f.bufs = append(f.bufs, dir)
+		for _, s := range segs {
+			if s.F64 != nil {
+				f.bufs = append(f.bufs, f64Bytes(s.F64))
+			} else if len(s.B) > 0 {
+				f.bufs = append(f.bufs, s.B)
+			}
+		}
+	}
+	return f
+}
+
+// recycle returns the frame's pooled memory after its bytes are on the
+// wire.
+func (f *outFrame) recycle() {
+	pool.PutBytes(f.head)
+	if f.segdir != nil {
+		pool.PutBytes(f.segdir)
+	}
+	if f.opts.recycleData && f.data != nil {
+		serde.Recycle(f.data)
+	}
+	if f.opts.recycleSegs {
+		for _, s := range f.segs {
+			if s.F64 != nil {
+				pool.PutFloat64s(s.F64)
+			} else if s.B != nil {
+				pool.PutBytes(s.B)
+			}
+		}
+	}
+}
+
+// peer is one remote rank's persistent connection: a send queue drained
+// by a writer goroutine (which batches every queued frame into a single
+// vectored write), plus link counters.
+type peer struct {
+	rank        int
+	conn        net.Conn
+	maxInflight int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []outFrame
+	qBytes  int
+	closing bool
+	done    chan struct{}
+
+	txBytes, rxBytes   atomic.Int64
+	txFrames, rxFrames atomic.Int64
+	writevSegs         atomic.Int64
+	writevCalls        atomic.Int64
+	queued             atomic.Int64
+}
+
+func newPeer(rank int, conn net.Conn, maxInflight int) *peer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are explicitly batched by the writer; Nagle on top only
+		// adds latency to small control frames.
+		tc.SetNoDelay(true)
+	}
+	pr := &peer{rank: rank, conn: conn, maxInflight: maxInflight, done: make(chan struct{})}
+	pr.cond = sync.NewCond(&pr.mu)
+	return pr
+}
+
+// enqueue hands a frame to the writer, parking while the peer's queued
+// bytes exceed the in-flight bound (bounded senders only).
+func (pr *peer) enqueue(f outFrame, bounded bool) {
+	pr.mu.Lock()
+	if bounded && pr.maxInflight > 0 {
+		for pr.qBytes > pr.maxInflight && !pr.closing {
+			pr.cond.Wait()
+		}
+	}
+	if pr.closing {
+		// Late send during teardown (the runtime has quiesced; nothing
+		// counted can be in here) — drop, releasing owned memory.
+		pr.mu.Unlock()
+		f.recycle()
+		return
+	}
+	pr.q = append(pr.q, f)
+	pr.qBytes += f.wireLen
+	pr.queued.Store(int64(pr.qBytes))
+	pr.mu.Unlock()
+	pr.cond.Broadcast()
+}
+
+// beginClose tells the writer to drain what is queued and half-close.
+func (pr *peer) beginClose() {
+	pr.mu.Lock()
+	pr.closing = true
+	pr.mu.Unlock()
+	pr.cond.Broadcast()
+}
+
+// writeLoop drains the send queue: every frame queued at wake-up joins
+// one net.Buffers vectored write (one writev per batch, segments and all
+// — zero flattening), then its pooled memory is recycled and parked
+// senders are released. On closing it flushes the tail and half-closes
+// the connection so the peer's reader sees a clean EOF.
+func (pr *peer) writeLoop(e *Endpoint) {
+	defer close(pr.done)
+	var batch []outFrame
+	var iov [][]byte
+	for {
+		pr.mu.Lock()
+		for len(pr.q) == 0 && !pr.closing {
+			pr.cond.Wait()
+		}
+		if len(pr.q) == 0 {
+			pr.mu.Unlock()
+			break // closing and drained
+		}
+		batch = append(batch[:0], pr.q...)
+		pr.q = pr.q[:0]
+		pr.mu.Unlock()
+
+		iov = iov[:0]
+		total := 0
+		for i := range batch {
+			iov = append(iov, batch[i].bufs...)
+			total += batch[i].wireLen
+		}
+		nIov := len(iov)
+		// net.Buffers.WriteTo consumes its receiver (niling entries as
+		// they land), so hand it a header over iov's array; iov itself is
+		// rebuilt from scratch next batch.
+		bufs := net.Buffers(iov)
+		if _, err := bufs.WriteTo(pr.conn); err != nil {
+			if !e.closed.Load() {
+				panic(fmt.Sprintf("netfab: write to rank %d: %v", pr.rank, err))
+			}
+			for i := range batch {
+				batch[i].recycle()
+			}
+			break
+		}
+		pr.txBytes.Add(int64(total))
+		pr.txFrames.Add(int64(len(batch)))
+		pr.writevCalls.Add(1)
+		pr.writevSegs.Add(int64(nIov))
+		for i := range batch {
+			batch[i].recycle()
+		}
+		pr.mu.Lock()
+		pr.qBytes -= total
+		pr.queued.Store(int64(pr.qBytes))
+		pr.mu.Unlock()
+		pr.cond.Broadcast()
+	}
+	if cw, ok := pr.conn.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+}

@@ -1,0 +1,186 @@
+package netfab
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/pool"
+	"repro/internal/serde"
+)
+
+// The registered-region facility and the pull half of the split-metadata
+// protocol. Over simnet, RMAGet/FetchObject resolve to a shared-memory
+// pointer read; over a real network the get becomes an explicit
+// meta-push/payload-pull exchange:
+//
+//	requester                           owner
+//	  FetchObject(h)  -- fPull{req,id} -->  look up region
+//	                                        gather-encode from the LIVE
+//	                                        object (zero-copy iovecs) or
+//	                                        archive-encode as fallback
+//	  decode owned    <-- fPullResp{req} --
+//	  temporary
+//
+// The owner's segments reference the registered object's memory with no
+// snapshot: the splitmd contract keeps the region registered until the
+// requester's ack, which it can only send after the response bytes have
+// fully left the owner's socket — so the memory outlives the write.
+
+// pullResult is one completed payload pull.
+type pullResult struct {
+	obj any
+	err error
+}
+
+// RegisterObject exposes an object for remote pulls and returns its
+// handle.
+func (e *Endpoint) RegisterObject(v any) fabric.RMAHandle {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	e.nextReg++
+	id := e.nextReg
+	e.regions[id] = v
+	return fabric.RMAHandle{Owner: e.rank, ID: id}
+}
+
+// Deregister releases a region registered on this endpoint and returns
+// the registered value (nil when unknown).
+func (e *Endpoint) Deregister(h fabric.RMAHandle) any {
+	e.regMu.Lock()
+	v := e.regions[h.ID]
+	delete(e.regions, h.ID)
+	e.regMu.Unlock()
+	return v
+}
+
+// RegionCount reports how many regions are currently registered.
+func (e *Endpoint) RegionCount() int {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	return len(e.regions)
+}
+
+// FetchObject resolves the object behind h. A local handle returns the
+// live object (owned=false, as over simnet). A remote handle performs the
+// pull exchange and returns a requester-owned temporary (owned=true): a
+// scatter-decoded view over pooled landed segments when the owner could
+// gather-encode, an archive decode otherwise. The caller releases it
+// after copying the payload out.
+func (e *Endpoint) FetchObject(h fabric.RMAHandle, bytes int) (any, bool, error) {
+	if h.Owner == e.rank {
+		e.regMu.Lock()
+		src, ok := e.regions[h.ID]
+		e.regMu.Unlock()
+		if !ok {
+			return nil, false, fmt.Errorf("netfab: region %d/%d not registered", h.Owner, h.ID)
+		}
+		return src, false, nil
+	}
+	if h.Owner < 0 || h.Owner >= e.size {
+		return nil, false, fmt.Errorf("netfab: region owner %d out of range", h.Owner)
+	}
+	reqID := e.pullSeq.Add(1)
+	ch := make(chan pullResult, 1)
+	e.pullMu.Lock()
+	e.pulls[reqID] = ch
+	e.pullMu.Unlock()
+
+	body := serde.GetBuffer(16)
+	body.PutU64(reqID)
+	body.PutU64(h.ID)
+	e.post(h.Owner, fPull, body.Detach(), nil, postOpts{recycleData: true})
+
+	res := <-ch
+	return res.obj, res.err == nil, res.err
+}
+
+// servePull answers a pull request on the owner's reader thread: the
+// registered object is encoded straight into response iovecs — no
+// snapshot — and queued past the backpressure bound (readers must never
+// park).
+func (e *Endpoint) servePull(pr *peer, data []byte) {
+	b := serde.FromBytes(data)
+	reqID := b.U64()
+	regionID := b.U64()
+	serde.Recycle(data)
+
+	e.regMu.Lock()
+	obj, ok := e.regions[regionID]
+	e.regMu.Unlock()
+
+	body := serde.GetBuffer(256)
+	body.PutU64(reqID)
+	if !ok {
+		body.PutU8(formErr)
+		body.PutString(fmt.Sprintf("region %d/%d not registered", e.rank, regionID))
+		e.post(pr.rank, fPullResp, body.Detach(), nil, postOpts{recycleData: true})
+		return
+	}
+	if enc, err := serde.TryLookupCached(obj); err == nil {
+		if g, hasGather := enc.Gatherer(); hasGather {
+			hdr := serde.GetBuffer(64)
+			if segs, gok := g.Segments(hdr, obj); gok {
+				body.PutU8(formGather)
+				body.PutUvarint(uint64(enc.Tag()))
+				body.PutBytes(hdr.Bytes())
+				hdr.Release()
+				// Segments reference the live registered object; see the
+				// lifetime argument at the top of this file.
+				e.post(pr.rank, fPullResp, body.Detach(), segs, postOpts{recycleData: true})
+				return
+			}
+			hdr.Release()
+		}
+	}
+	body.PutU8(formArchive)
+	serde.EncodeAny(body, obj)
+	e.post(pr.rank, fPullResp, body.Detach(), nil, postOpts{recycleData: true})
+}
+
+// completePull lands a pull response on the requester's reader thread
+// and wakes the parked FetchObject.
+func (e *Endpoint) completePull(data []byte, segs []serde.Segment) {
+	b := serde.FromBytes(data)
+	reqID := b.U64()
+	form := b.U8()
+	var res pullResult
+	switch form {
+	case formGather:
+		tag := uint32(b.Uvarint())
+		hdr := serde.FromBytes(b.BytesOut())
+		g, ok := serde.GathererByTag(tag)
+		if !ok {
+			res.err = fmt.Errorf("netfab: pull response tag %d has no gather codec", tag)
+			break
+		}
+		// The decoded view aliases the pooled landed segments; the
+		// requester owns it and releases it after CopyPayloadFrom.
+		res.obj = g.Scatter(hdr, segs)
+	case formArchive:
+		res.obj = serde.DecodeAny(b)
+	case formErr:
+		res.err = fmt.Errorf("netfab: pull failed: %s", b.String())
+	default:
+		res.err = fmt.Errorf("netfab: bad pull response form %d", form)
+	}
+	serde.Recycle(data)
+	e.pullMu.Lock()
+	ch := e.pulls[reqID]
+	delete(e.pulls, reqID)
+	e.pullMu.Unlock()
+	if ch != nil {
+		ch <- res
+	} else if r, ok := res.obj.(pool.Releasable); ok {
+		r.Release() // duplicate/late response: drop the owned temporary
+	}
+}
+
+// failPendingPulls unblocks FetchObject callers at close.
+func (e *Endpoint) failPendingPulls() {
+	e.pullMu.Lock()
+	for id, ch := range e.pulls {
+		delete(e.pulls, id)
+		ch <- pullResult{err: fmt.Errorf("netfab: endpoint closed")}
+	}
+	e.pullMu.Unlock()
+}

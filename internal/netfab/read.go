@@ -1,0 +1,107 @@
+package netfab
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/fabric"
+	"repro/internal/pool"
+	"repro/internal/serde"
+)
+
+// readLoop serves one peer connection: it lands each frame into pooled
+// memory — framed bytes into the serde buffer pool, float64 segments into
+// the float64 pool (always read into pool-allocated, 8-byte-aligned
+// float64 memory through its byte view; received bytes are never
+// reinterpreted in place) — and pushes the packet onto the shared inbox.
+// Transport-internal frames (pull traffic) are handled here directly and
+// never surface to the runtime. The loop exits on the peer's half-close
+// (clean EOF at a frame boundary).
+func (e *Endpoint) readLoop(pr *peer) {
+	defer e.readWG.Done()
+	br := bufio.NewReaderSize(pr.conn, 64<<10)
+	var head [frameHeadLen]byte
+	for {
+		if _, err := io.ReadFull(br, head[:4]); err != nil {
+			// EOF here is the peer's graceful half-close; anything else
+			// mid-run is a transport failure.
+			if err != io.EOF && !e.closed.Load() {
+				panic(fmt.Sprintf("netfab: read from rank %d: %v", pr.rank, err))
+			}
+			return
+		}
+		rest := binary.LittleEndian.Uint32(head[:4])
+		if err := e.readFrame(pr, br, head[:]); err != nil {
+			if !e.closed.Load() {
+				panic(fmt.Sprintf("netfab: read from rank %d: %v", pr.rank, err))
+			}
+			return
+		}
+		pr.rxBytes.Add(int64(4 + rest))
+		pr.rxFrames.Add(1)
+	}
+}
+
+// readFrame reads the remainder of one frame (head[:4] already holds the
+// length field) and dispatches it.
+func (e *Endpoint) readFrame(pr *peer, br *bufio.Reader, head []byte) error {
+	if _, err := io.ReadFull(br, head[4:frameHeadLen]); err != nil {
+		return err
+	}
+	kind := head[4]
+	dataLen := int(binary.LittleEndian.Uint32(head[5:9]))
+	nsegs := int(binary.LittleEndian.Uint32(head[9:13]))
+
+	var data []byte
+	if dataLen > 0 {
+		data = pool.Bytes(dataLen)[:dataLen]
+		if _, err := io.ReadFull(br, data); err != nil {
+			return err
+		}
+	}
+	var segs []serde.Segment
+	if nsegs > 0 {
+		dir := pool.Bytes(5 * nsegs)[:5*nsegs]
+		if _, err := io.ReadFull(br, dir); err != nil {
+			return err
+		}
+		segs = make([]serde.Segment, nsegs)
+		for i := range segs {
+			typ := dir[5*i]
+			elems := int(binary.LittleEndian.Uint32(dir[5*i+1:]))
+			switch typ {
+			case segF64:
+				f := pool.Float64s(elems)
+				if _, err := io.ReadFull(br, f64Bytes(f)); err != nil {
+					return err
+				}
+				segs[i].F64 = f
+			case segB:
+				b := pool.Bytes(elems)[:elems]
+				if _, err := io.ReadFull(br, b); err != nil {
+					return err
+				}
+				segs[i].B = b
+			default:
+				return fmt.Errorf("bad segment type %d", typ)
+			}
+		}
+		pool.PutBytes(dir)
+	}
+
+	switch kind {
+	case fPull:
+		e.servePull(pr, data)
+	case fPullResp:
+		e.completePull(data, segs)
+	case fHello:
+		// Handshake frames are consumed before readLoop starts; a late
+		// one is a protocol error.
+		return fmt.Errorf("unexpected hello")
+	default:
+		e.inbox.Push(fabric.Packet{Src: pr.rank, Dst: e.rank, Kind: kind, Data: data, Segs: segs})
+	}
+	return nil
+}

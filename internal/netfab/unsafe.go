@@ -1,0 +1,19 @@
+package netfab
+
+import "unsafe"
+
+// f64Bytes views a []float64 as its underlying bytes without copying —
+// the transport-level cast that keeps gathered payloads zero-copy from
+// pool to socket (send) and socket to pool (receive). This is the only
+// unsafe code in the tree: it never escapes this package, the runtime and
+// serde layers above stay unsafe-free (CI-linted), and the cast only ever
+// runs in this direction — float64 memory viewed as bytes. The receive
+// path allocates pool float64 slices (8-byte aligned by the Go allocator)
+// and reads the wire into their byte view; received byte buffers are
+// never reinterpreted as float64s.
+func f64Bytes(f []float64) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), 8*len(f))
+}

@@ -18,8 +18,15 @@ import (
 type Sample struct {
 	Name string
 	// Rank labels the series (rank="N"); negative means no rank label.
-	Rank  int
-	Value float64
+	Rank int
+	// Peer adds a peer="N" label when HasPeer is set — per-link series of
+	// a real-network fabric endpoint.
+	Peer    int
+	HasPeer bool
+	// Counter marks a monotonically increasing total (rendered with the
+	// counter type and _total suffix); the default is a gauge.
+	Counter bool
+	Value   float64
 }
 
 // Collector is a pull source of live gauges; backend.Proc implements it
@@ -118,12 +125,23 @@ func (e *Exporter) Export(w io.Writer) error {
 	for _, c := range e.Collectors {
 		c.CollectLive(func(s Sample) {
 			n := sanitizeMetricName(s.Name)
-			f := fam(n, "gauge")
+			var labels []string
 			if s.Rank >= 0 {
-				f.lines = append(f.lines, fmt.Sprintf(`%s{rank="%d"} %s`, n, s.Rank, formatFloat(s.Value)))
-			} else {
-				f.lines = append(f.lines, fmt.Sprintf("%s %s", n, formatFloat(s.Value)))
+				labels = append(labels, fmt.Sprintf(`rank="%d"`, s.Rank))
 			}
+			if s.HasPeer {
+				labels = append(labels, fmt.Sprintf(`peer="%d"`, s.Peer))
+			}
+			label := ""
+			if len(labels) > 0 {
+				label = "{" + strings.Join(labels, ",") + "}"
+			}
+			typ, suffix := "gauge", ""
+			if s.Counter {
+				typ, suffix = "counter", "_total"
+			}
+			f := fam(n, typ)
+			f.lines = append(f.lines, fmt.Sprintf("%s%s%s %s", n, suffix, label, formatFloat(s.Value)))
 		})
 	}
 

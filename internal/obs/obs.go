@@ -240,6 +240,27 @@ const (
 	// still aliasing pooled receive buffers (process-global; nonzero after
 	// a fence means a view leak pinning pool memory).
 	GaugeRecvViews = "serde.recv_views"
+
+	// Per-peer link metrics of a real-network fabric endpoint (netfab),
+	// labeled {rank, peer} in the OpenMetrics exposition.
+
+	// CounterFabricTxBytes counts bytes written to one peer's socket.
+	CounterFabricTxBytes = "fabric.tx_bytes"
+	// CounterFabricRxBytes counts bytes landed from one peer's socket.
+	CounterFabricRxBytes = "fabric.rx_bytes"
+	// CounterFabricTxFrames counts frames written to one peer.
+	CounterFabricTxFrames = "fabric.tx_frames"
+	// CounterFabricRxFrames counts frames landed from one peer.
+	CounterFabricRxFrames = "fabric.rx_frames"
+	// CounterFabricWritevSegs counts iovec segments handed to vectored
+	// writes — segments that crossed pool -> socket without flattening.
+	CounterFabricWritevSegs = "fabric.writev_segs"
+	// CounterFabricWritevCalls counts vectored write batches (the segs /
+	// calls ratio is the achieved write aggregation).
+	CounterFabricWritevCalls = "fabric.writev_calls"
+	// GaugeFabricQueuedBytes tracks bytes queued on one peer's socket
+	// writer but not yet written — the backpressure level.
+	GaugeFabricQueuedBytes = "fabric.queued_bytes"
 )
 
 // Config sizes a Session.

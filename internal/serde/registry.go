@@ -210,6 +210,11 @@ func (c *Cached) Clone(v any) any {
 	return c.codec.Clone(v)
 }
 
+// Shareable reports whether the cached type is a pointer-free value type,
+// i.e. whether Clone returns the same (immutable) box rather than a deep
+// copy. Callers that derive ownership from cloning branch on this.
+func (c *Cached) Shareable() bool { return c.shareable }
+
 // Gatherer returns the codec's gather extension, if it has one.
 func (c *Cached) Gatherer() (Gatherer, bool) { return c.gather, c.gather != nil }
 

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/serde"
 )
@@ -41,22 +42,11 @@ type Config struct {
 	BandwidthBps float64
 }
 
-// Packet is one message on the virtual fabric. Kind is an
-// application-defined dispatch byte; simnet does not interpret it.
-type Packet struct {
-	Src, Dst int
-	Kind     uint8
-	Data     []byte
-	// Segs carries gathered payload segments by reference (the zero-copy
-	// wire path). The fabric never touches their memory, but link
-	// occupancy and transfer time charge their full byte size, so a
-	// by-reference payload costs exactly what its bytes would.
-	Segs []serde.Segment
-}
-
-// WireLen is the packet's size as charged on the wire: framed data plus
-// all by-reference segment bytes.
-func (p *Packet) WireLen() int { return len(p.Data) + serde.SegmentBytes(p.Segs) }
+// Packet is one message on the virtual fabric (the shared fabric.Packet
+// form). Simnet never touches segment memory, but link occupancy and
+// transfer time charge its full byte size, so a by-reference payload
+// costs exactly what its bytes would.
+type Packet = fabric.Packet
 
 // link is one directed channel's virtual clock: the fabric-relative time
 // (ns since the network was built) at which the link next becomes free.
@@ -139,7 +129,7 @@ func (n *Network) Close() {
 	}
 	n.wg.Wait()
 	for _, ep := range n.eps {
-		ep.inbox.close()
+		ep.inbox.Close()
 	}
 }
 
@@ -164,7 +154,7 @@ func (n *Network) deliver(p Packet) {
 		n.inflight.Add(1)
 	}
 	if !n.delayed {
-		n.dropOrCount(n.eps[p.Dst].inbox.push(p))
+		n.dropOrCount(n.eps[p.Dst].inbox.Push(p))
 		return
 	}
 	// Claim the link: the packet occupies [busy, busy+xfer) of the link's
@@ -296,22 +286,25 @@ func (s *linkShard) run() {
 		}
 		heap.Pop(&s.h)
 		s.mu.Unlock()
-		s.net.dropOrCount(s.net.eps[head.p.Dst].inbox.push(head.p))
+		s.net.dropOrCount(s.net.eps[head.p.Dst].inbox.Push(head.p))
 	}
 }
 
-// Endpoint is one rank's attachment to the network.
+// Endpoint is one rank's attachment to the network. It implements
+// fabric.Endpoint.
 type Endpoint struct {
 	net     *Network
 	rank    int
-	inbox   *queue[Packet]
+	inbox   *fabric.Queue[Packet]
 	regMu   sync.Mutex
 	regions map[uint64]any
 	nextReg uint64
 }
 
+var _ fabric.Endpoint = (*Endpoint)(nil)
+
 func newEndpoint(n *Network, rank int) *Endpoint {
-	return &Endpoint{net: n, rank: rank, inbox: newQueue[Packet](), regions: map[uint64]any{}}
+	return &Endpoint{net: n, rank: rank, inbox: fabric.NewQueue[Packet](), regions: map[uint64]any{}}
 }
 
 // Rank returns this endpoint's rank.
@@ -342,7 +335,7 @@ func (e *Endpoint) SendSegs(dst int, kind uint8, data []byte, segs []serde.Segme
 // Recv blocks for the next packet; ok is false once the network is closed
 // and the inbox drained.
 func (e *Endpoint) Recv() (Packet, bool) {
-	p, ok := e.inbox.pop()
+	p, ok := e.inbox.Pop()
 	if ok && e.net.inflight != nil {
 		e.net.inflight.Add(-1)
 	}
@@ -351,7 +344,7 @@ func (e *Endpoint) Recv() (Packet, bool) {
 
 // TryRecv returns a packet if one is immediately available.
 func (e *Endpoint) TryRecv() (Packet, bool) {
-	p, ok := e.inbox.tryPop()
+	p, ok := e.inbox.TryPop()
 	if ok && e.net.inflight != nil {
 		e.net.inflight.Add(-1)
 	}
@@ -360,10 +353,7 @@ func (e *Endpoint) TryRecv() (Packet, bool) {
 
 // RMAHandle names a registered memory region on some rank; it is small and
 // travels inside eager messages (the splitmd metadata phase).
-type RMAHandle struct {
-	Owner int
-	ID    uint64
-}
+type RMAHandle = fabric.RMAHandle
 
 // Register exposes buf for remote gets and returns its handle.
 func (e *Endpoint) Register(buf []byte) RMAHandle {
@@ -398,7 +388,7 @@ func (e *Endpoint) RegionCount() int {
 // the simulated transfer time. It returns the number of bytes copied. This
 // is the one-sided second phase of the splitmd protocol.
 func (e *Endpoint) RMAGet(h RMAHandle, dst []byte) (int, error) {
-	src, err := e.FetchObject(h, 0)
+	src, _, err := e.FetchObject(h, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -428,107 +418,27 @@ func (e *Endpoint) RegisterObject(v any) RMAHandle {
 // FetchObject resolves the remote object named by h, blocking for the
 // simulated transfer time of the given payload size (callers that perform
 // the copy themselves pass the byte count; pass 0 to skip the delay).
-func (e *Endpoint) FetchObject(h RMAHandle, bytes int) (any, error) {
+// Simnet always returns the owner's live object, so owned is false: the
+// caller must copy out of it, never mutate or release it.
+func (e *Endpoint) FetchObject(h RMAHandle, bytes int) (any, bool, error) {
 	owner := e.net.eps[h.Owner]
 	owner.regMu.Lock()
 	src, ok := owner.regions[h.ID]
 	owner.regMu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("simnet: RMA region %d/%d not registered", h.Owner, h.ID)
+		return nil, false, fmt.Errorf("simnet: RMA region %d/%d not registered", h.Owner, h.ID)
 	}
 	if bytes > 0 {
 		if d := e.net.transferTime(bytes) + e.net.cfg.Latency; d > 0 {
 			time.Sleep(d)
 		}
 	}
-	return src, nil
+	return src, false, nil
 }
 
-// EncodeHandle appends h's wire form; DecodeHandle reads it back.
-func EncodeHandle(buf []byte, h RMAHandle) []byte {
-	buf = append(buf, byte(h.Owner), byte(h.Owner>>8), byte(h.Owner>>16), byte(h.Owner>>24))
-	for i := 0; i < 8; i++ {
-		buf = append(buf, byte(h.ID>>(8*i)))
-	}
-	return buf
-}
+// EncodeHandle appends h's wire form; DecodeHandle reads it back and
+// returns the rest. Both delegate to the shared fabric encoding.
+func EncodeHandle(buf []byte, h RMAHandle) []byte { return fabric.EncodeHandle(buf, h) }
 
 // DecodeHandle reads a handle written by EncodeHandle and returns the rest.
-func DecodeHandle(buf []byte) (RMAHandle, []byte) {
-	h := RMAHandle{}
-	h.Owner = int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
-	for i := 0; i < 8; i++ {
-		h.ID |= uint64(buf[4+i]) << (8 * i)
-	}
-	return h, buf[12:]
-}
-
-// queue is an unbounded FIFO with blocking pop; unbounded capacity prevents
-// the comm-thread deadlocks a bounded channel mesh would allow.
-type queue[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	head   int
-	closed bool
-}
-
-func newQueue[T any]() *queue[T] {
-	q := &queue[T]{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// push enqueues v; it reports false when the queue is closed and the value
-// was dropped.
-func (q *queue[T]) push(v T) bool {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return false
-	}
-	q.items = append(q.items, v)
-	q.mu.Unlock()
-	q.cond.Signal()
-	return true
-}
-
-func (q *queue[T]) pop() (T, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.head >= len(q.items) && !q.closed {
-		q.cond.Wait()
-	}
-	var zero T
-	if q.head >= len(q.items) {
-		return zero, false
-	}
-	v := q.items[q.head]
-	q.items[q.head] = zero
-	q.head++
-	if q.head > 64 && q.head*2 >= len(q.items) {
-		q.items = append(q.items[:0], q.items[q.head:]...)
-		q.head = 0
-	}
-	return v, true
-}
-
-func (q *queue[T]) tryPop() (T, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	var zero T
-	if q.head >= len(q.items) {
-		return zero, false
-	}
-	v := q.items[q.head]
-	q.items[q.head] = zero
-	q.head++
-	return v, true
-}
-
-func (q *queue[T]) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
+func DecodeHandle(buf []byte) (RMAHandle, []byte) { return fabric.DecodeHandle(buf) }

@@ -193,19 +193,22 @@ func TestRegisterObjectAndCount(t *testing.T) {
 	if ep.RegionCount() != 1 {
 		t.Fatal("registration not counted")
 	}
-	got, err := n.Endpoint(1).FetchObject(h, 0)
+	got, owned, err := n.Endpoint(1).FetchObject(h, 0)
 	if err != nil || got.(*blob).x != 7 {
 		t.Fatalf("FetchObject = %v, %v", got, err)
 	}
+	if owned {
+		t.Fatal("simnet returns the owner's live object, never an owned copy")
+	}
 	// Delay path with a byte count.
-	if _, err := n.Endpoint(1).FetchObject(h, 64); err != nil {
+	if _, _, err := n.Endpoint(1).FetchObject(h, 64); err != nil {
 		t.Fatal(err)
 	}
 	ep.Deregister(h)
 	if ep.RegionCount() != 0 {
 		t.Fatal("deregistration not counted")
 	}
-	if _, err := n.Endpoint(1).FetchObject(h, 0); err == nil {
+	if _, _, err := n.Endpoint(1).FetchObject(h, 0); err == nil {
 		t.Fatal("fetch after deregister should fail")
 	}
 }

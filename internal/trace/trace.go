@@ -47,6 +47,11 @@ type Collector struct {
 	CopySends       atomic.Int64 // deliveries flattened through copy-encode
 	ViewDecodes     atomic.Int64 // receives decoded as views over arrived payload memory
 	BytesZeroCopied atomic.Int64 // payload bytes that crossed by reference
+
+	// LoopbackDeliveries counts Deliver calls whose destination was the
+	// local rank (lopsided keymaps); they short-circuit to local matching
+	// with wire-equivalent copy semantics instead of touching the fabric.
+	LoopbackDeliveries atomic.Int64
 }
 
 // Snapshot is an immutable copy of a Collector's counters.
@@ -77,6 +82,8 @@ type Snapshot struct {
 	CopySends       int64
 	ViewDecodes     int64
 	BytesZeroCopied int64
+
+	LoopbackDeliveries int64
 }
 
 // Snapshot captures the current counter values.
@@ -108,6 +115,8 @@ func (c *Collector) Snapshot() Snapshot {
 		CopySends:       c.CopySends.Load(),
 		ViewDecodes:     c.ViewDecodes.Load(),
 		BytesZeroCopied: c.BytesZeroCopied.Load(),
+
+		LoopbackDeliveries: c.LoopbackDeliveries.Load(),
 	}
 }
 
@@ -141,6 +150,8 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		CopySends:       s.CopySends + o.CopySends,
 		ViewDecodes:     s.ViewDecodes + o.ViewDecodes,
 		BytesZeroCopied: s.BytesZeroCopied + o.BytesZeroCopied,
+
+		LoopbackDeliveries: s.LoopbackDeliveries + o.LoopbackDeliveries,
 	}
 }
 

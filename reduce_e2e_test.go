@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -340,6 +341,9 @@ func BenchmarkReduceLocalAccum(b *testing.B) {
 func TestReduceBenchGuard(t *testing.T) {
 	if os.Getenv("TTG_BENCH_GUARD") != "1" {
 		t.Skip("set TTG_BENCH_GUARD=1 to run the reduction bench guard")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("bench guard needs >= 2 CPUs: contended ratios are meaningless on a single-core runner")
 	}
 	raw, err := os.ReadFile("BENCH_reduce.json")
 	if err != nil {

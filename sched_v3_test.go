@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -215,6 +216,9 @@ func TestAblationPriorityInvariant(t *testing.T) {
 func TestSchedBenchGuard(t *testing.T) {
 	if os.Getenv("TTG_BENCH_GUARD") != "1" {
 		t.Skip("set TTG_BENCH_GUARD=1 to run the scheduling bench guard")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("bench guard needs >= 2 CPUs: contended ratios are meaningless on a single-core runner")
 	}
 	raw, err := os.ReadFile("BENCH_sched.json")
 	if err != nil {

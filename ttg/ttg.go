@@ -30,6 +30,7 @@ import (
 	"repro/internal/backend/madness"
 	"repro/internal/backend/parsec"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
 	"repro/internal/sched"
@@ -97,7 +98,15 @@ type Config struct {
 	// Backend picks the runtime model.
 	Backend Backend
 	// Net sets fabric latency/bandwidth; zero values mean an ideal fabric.
+	// Ignored when Fabric is set.
 	Net simnet.Config
+	// Fabric, when non-nil, runs this process as ONE rank of a real
+	// multi-process cluster over the given transport endpoint (e.g. a
+	// netfab TCP/Unix-socket fabric) instead of the in-process simnet
+	// cluster. Ranks is ignored in favor of Fabric.Size(), and main runs
+	// exactly once — for rank Fabric.Rank(). Run closes the endpoint on
+	// shutdown.
+	Fabric fabric.Endpoint
 	// Policy optionally overrides the PaRSEC-model scheduler module.
 	Policy sched.Policy
 	// HasPolicy marks Policy as explicitly set.
@@ -221,6 +230,7 @@ func RunLive(cfg Config, hook func(targets []live.Target, collectors []live.Coll
 			CoalesceBytes:  cfg.CoalesceBytes,
 			CoalesceCount:  cfg.CoalesceCount,
 			Net:            cfg.Net,
+			Fabric:         cfg.Fabric,
 			Obs:            cfg.Obs,
 		})
 	default:
@@ -233,6 +243,7 @@ func RunLive(cfg Config, hook func(targets []live.Target, collectors []live.Coll
 			CoalesceCount:  cfg.CoalesceCount,
 			BcastChunk:     cfg.BcastChunk,
 			Net:            cfg.Net,
+			Fabric:         cfg.Fabric,
 			Obs:            cfg.Obs,
 		})
 	}

@@ -8,6 +8,7 @@ package repro
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -196,6 +197,9 @@ func wireThroughputRatio(tb testing.TB, reps int) float64 {
 func TestWireBenchGuard(t *testing.T) {
 	if os.Getenv("TTG_BENCH_GUARD") != "1" {
 		t.Skip("set TTG_BENCH_GUARD=1 to run the wire bench guard")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skip("bench guard needs >= 2 CPUs: contended ratios are meaningless on a single-core runner")
 	}
 	raw, err := os.ReadFile("BENCH_wire.json")
 	if err != nil {
